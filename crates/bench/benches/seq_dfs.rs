@@ -1,0 +1,36 @@
+//! E1 companion: real sequential UTS exploration rate on this host (the
+//! paper's §4.1 table, hardware edition). Reported as nodes/second.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use uts_tree::seq::dfs_count;
+use uts_tree::{presets, GeoShape, TreeSpec};
+
+fn bench_seq_dfs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("seq_dfs");
+    g.sample_size(20);
+
+    let tiny = presets::t_tiny();
+    g.throughput(Throughput::Elements(tiny.expected.nodes));
+    g.bench_function("binomial_tiny_431", |b| {
+        b.iter(|| black_box(dfs_count(black_box(&tiny.spec))))
+    });
+
+    let small = presets::t_s();
+    g.throughput(Throughput::Elements(small.expected.nodes));
+    g.bench_function("binomial_ts_46k", |b| {
+        b.iter(|| black_box(dfs_count(black_box(&small.spec))))
+    });
+
+    // A geometric tree of similar magnitude for law-shape comparison.
+    let geo = TreeSpec::geometric(3, 3.0, 9, GeoShape::Fixed);
+    let geo_nodes = dfs_count(&geo).nodes;
+    g.throughput(Throughput::Elements(geo_nodes));
+    g.bench_function("geometric_fixed", |b| {
+        b.iter(|| black_box(dfs_count(black_box(&geo))))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_seq_dfs);
+criterion_main!(benches);

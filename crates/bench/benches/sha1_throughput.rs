@@ -1,0 +1,49 @@
+//! SHA-1 micro-benchmarks. §4.1: "The sequential rate of depth-first search
+//! primarily reflects the speed at which the processor can calculate SHA-1
+//! hash evaluations" — so the hash engine's throughput bounds everything.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use uts_sha1::Sha1;
+use uts_tree::Node;
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha1");
+    for size in [24usize, 64, 1024, 65536] {
+        let data = vec![0xa5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("digest_{size}B"), |b| {
+            b.iter(|| {
+                let mut h = Sha1::new();
+                h.update(black_box(&data));
+                black_box(h.finalize())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_node_spawn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uts_node");
+    let parent = Node::root(0);
+    // One child derivation = one SHA-1 of 24 bytes: the per-node cost of UTS.
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("spawn_child", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(parent.child(black_box(i)))
+        })
+    });
+    g.throughput(Throughput::Elements(8));
+    g.bench_function("spawn_8_children", |b| {
+        b.iter(|| {
+            for i in 0..8 {
+                black_box(parent.child(i));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sha1, bench_node_spawn);
+criterion_main!(benches);

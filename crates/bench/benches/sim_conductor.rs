@@ -1,0 +1,63 @@
+//! Simulator self-measurement: how many virtual-time operations per second
+//! the conductor sustains. This bounds how large a cluster experiment is
+//! practical on one host and quantifies the cost of the baton handoff.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pgas::sim::SimCluster;
+use pgas::{Comm, MachineModel, SpaceConfig};
+
+fn bench_conductor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_conductor");
+    g.sample_size(10);
+
+    // Single thread: ops take the fast path (thread picks itself).
+    const OPS: u64 = 10_000;
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("ops_1_thread", |b| {
+        b.iter(|| {
+            let cluster: SimCluster<u64> =
+                SimCluster::new(MachineModel::smp(), 1, SpaceConfig::default());
+            cluster.run(|comm| {
+                for i in 0..OPS {
+                    comm.put(0, 0, i as i64);
+                }
+            })
+        })
+    });
+
+    // Contended: every op changes the baton holder (worst case).
+    const OPS_PER: u64 = 1_000;
+    for n in [2usize, 8] {
+        g.throughput(Throughput::Elements(OPS_PER * n as u64));
+        g.bench_function(format!("ops_{n}_threads_interleaved"), |b| {
+            b.iter(|| {
+                let cluster: SimCluster<u64> =
+                    SimCluster::new(MachineModel::smp(), n, SpaceConfig::default());
+                cluster.run(|comm| {
+                    for _ in 0..OPS_PER {
+                        black_box(comm.add(0, 0, 1));
+                    }
+                })
+            })
+        });
+    }
+
+    // Pure work accumulation must be near-free (no conductor involvement).
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("work_accumulation_100k", |b| {
+        b.iter(|| {
+            let cluster: SimCluster<u64> =
+                SimCluster::new(MachineModel::smp(), 1, SpaceConfig::default());
+            cluster.run(|comm| {
+                for _ in 0..100_000u64 {
+                    comm.work(1);
+                }
+                comm.now()
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_conductor);
+criterion_main!(benches);

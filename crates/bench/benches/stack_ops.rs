@@ -1,0 +1,61 @@
+//! Steal-stack and probe-order micro-operations: the per-node bookkeeping
+//! that sits between SHA-1 evaluations on the worker fast path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use uts_tree::Node;
+use worksteal::probe::{ProbeOrder, Xorshift};
+use worksteal::stack::DfsStack;
+
+fn bench_stack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dfs_stack");
+    let node = Node::root(0);
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_pop", |b| {
+        let mut s: DfsStack<Node> = DfsStack::new(8);
+        b.iter(|| {
+            s.push(black_box(node));
+            black_box(s.pop())
+        })
+    });
+
+    g.throughput(Throughput::Elements(8));
+    g.bench_function("release_chunk_k8", |b| {
+        let mut s: DfsStack<Node> = DfsStack::new(8);
+        b.iter(|| {
+            for _ in 0..8 {
+                s.push(node);
+            }
+            black_box(s.take_bottom_chunk())
+        })
+    });
+
+    g.bench_function("push_all_64", |b| {
+        let mut s: DfsStack<Node> = DfsStack::new(8);
+        let chunk = [node; 64];
+        b.iter(|| {
+            s.push_all(black_box(&chunk));
+            while s.pop().is_some() {}
+        })
+    });
+    g.finish();
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("probe_order");
+    for n in [16usize, 256, 1024] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("cycle_{n}_threads"), |b| {
+            let mut p = ProbeOrder::flat(0, n, 7);
+            b.iter(|| black_box(p.cycle()))
+        });
+    }
+    g.bench_function("xorshift_next", |b| {
+        let mut r = Xorshift::new(1);
+        b.iter(|| black_box(r.next_u64()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stack, bench_probe);
+criterion_main!(benches);

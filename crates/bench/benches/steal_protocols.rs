@@ -1,0 +1,55 @@
+//! End-to-end protocol benchmarks: real (wall-clock) cost of simulating one
+//! complete load-balanced traversal per algorithm, and the native backend's
+//! real work-stealing throughput. These track harness performance so the
+//! figure binaries stay tractable.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pgas::MachineModel;
+use worksteal::{run_native, run_sim, Algorithm, RunConfig, UtsGen};
+
+fn bench_sim_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_full_run");
+    g.sample_size(10);
+    let p = uts_tree::presets::t_tiny();
+    let gen = UtsGen::new(p.spec);
+    g.throughput(Throughput::Elements(p.expected.nodes));
+    for alg in [
+        Algorithm::SharedMem,
+        Algorithm::Term,
+        Algorithm::TermRapdif,
+        Algorithm::DistMem,
+        Algorithm::MpiWs,
+    ] {
+        g.bench_function(format!("{}_p8_tiny", alg.label()), |b| {
+            let cfg = RunConfig::new(alg, 2);
+            b.iter(|| {
+                let r = run_sim(MachineModel::kittyhawk(), 8, &gen, &cfg);
+                assert_eq!(r.total_nodes, p.expected.nodes);
+                black_box(r.makespan_ns)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_native_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native_full_run");
+    g.sample_size(10);
+    let p = uts_tree::presets::t_s();
+    let gen = UtsGen::new(p.spec);
+    g.throughput(Throughput::Elements(p.expected.nodes));
+    for alg in [Algorithm::DistMem, Algorithm::MpiWs] {
+        g.bench_function(format!("{}_p2_ts", alg.label()), |b| {
+            let cfg = RunConfig::new(alg, 8);
+            b.iter(|| {
+                let r = run_native(MachineModel::smp(), 2, &gen, &cfg);
+                assert_eq!(r.total_nodes, p.expected.nodes);
+                black_box(r.makespan_ns)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim_runs, bench_native_runs);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E3 — §4.2 refinement ablation: "each of the refinements presented in
+//! Sections 3.3.1-3.3.3 shows an improvement in these results; the total
+//! improvement is about 37%."
+//!
+//! Runs the refinement chain `upc-sharedmem → upc-term → upc-term-rapdif →
+//! upc-distmem` at one (threads, chunk) point and reports each step's
+//! incremental gain, plus `mpi-ws` for reference, plus the two extensions.
+//!
+//! Usage:
+//!   cargo run --release -p uts-bench --bin ablation
+//!     [--tree l] [--threads 256] [--chunk 8] [--machine kittyhawk]
+
+use uts_bench::harness::{arg, machine_by_name, measure, preset_by_name, print_table, write_csv};
+use worksteal::{Algorithm, UtsGen};
+
+fn main() {
+    let tree: String = arg("--tree", "l".to_string());
+    let threads: usize = arg("--threads", 256);
+    let chunk: usize = arg("--chunk", 8);
+    let machine_name: String = arg("--machine", "kittyhawk".to_string());
+    let machine = machine_by_name(&machine_name);
+    let preset = preset_by_name(&tree);
+    let gen = UtsGen::new(preset.spec);
+
+    println!(
+        "Ablation: {} threads, k={}, {} on {}",
+        threads, chunk, preset.name, machine.name
+    );
+
+    let chain = [
+        Algorithm::SharedMem,
+        Algorithm::Term,
+        Algorithm::TermRapdif,
+        Algorithm::DistMem,
+    ];
+    let mut rows = Vec::new();
+    for alg in chain
+        .iter()
+        .copied()
+        .chain([Algorithm::MpiWs, Algorithm::Hier, Algorithm::Pushing])
+    {
+        let row = measure(&machine, threads, &gen, alg, chunk, preset.expected.nodes);
+        eprintln!("  {}: {:.2} Mn/s [{:.1}s real]", row.label, row.mnodes_per_sec, row.t_real);
+        rows.push(row);
+    }
+    print_table("Refinement ablation", &rows);
+    write_csv("ablation", &rows);
+
+    println!("\nincremental refinement gains (rate vs previous step):");
+    for w in rows[..4].windows(2) {
+        println!(
+            "  {:<16} -> {:<16} {:+.1}%",
+            w[0].label,
+            w[1].label,
+            100.0 * (w[1].mnodes_per_sec / w[0].mnodes_per_sec - 1.0)
+        );
+    }
+    println!(
+        "  total ({} -> {}): {:+.1}%  (paper: ≈ +37% from upc-sharedmem's best configuration)",
+        rows[0].label,
+        rows[3].label,
+        100.0 * (rows[3].mnodes_per_sec / rows[0].mnodes_per_sec - 1.0)
+    );
+    println!(
+        "  upc-term -> upc-distmem: {:+.1}%",
+        100.0 * (rows[3].mnodes_per_sec / rows[1].mnodes_per_sec - 1.0)
+    );
+}

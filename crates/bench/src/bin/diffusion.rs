@@ -1,0 +1,68 @@
+//! E14 — work diffusion (§3.3.2, measured).
+//!
+//! The paper's rapid-diffusion argument: letting thieves take *half* the
+//! victim's chunks "rapidly increase\[s\] the number of work sources" and
+//! "leads to more rapid diffusion of work". With event tracing we can
+//! measure exactly that: the time by which 50% / 90% / 100% of threads first
+//! obtained work, and how many distinct victims ("work sources") served
+//! steals — comparing steal-one (`upc-term`) against steal-half
+//! (`upc-term-rapdif`, `upc-distmem`).
+//!
+//! Usage:
+//!   cargo run --release -p uts-bench --bin diffusion
+//!     [--tree m] [--threads 128] [--chunk 8] [--machine kittyhawk]
+
+use pgas::MachineModel;
+use uts_bench::harness::{arg, machine_by_name, preset_by_name};
+use worksteal::{run_sim, Algorithm, RunConfig, UtsGen};
+
+fn main() {
+    let tree: String = arg("--tree", "m".to_string());
+    let threads: usize = arg("--threads", 128);
+    let chunk: usize = arg("--chunk", 8);
+    let machine_name: String = arg("--machine", "kittyhawk".to_string());
+    let machine: MachineModel = machine_by_name(&machine_name);
+    let preset = preset_by_name(&tree);
+    let gen = UtsGen::new(preset.spec);
+
+    println!(
+        "Work diffusion: {} threads, k={}, tree {} on {} (traced runs)",
+        threads, chunk, preset.name, machine.name
+    );
+    println!(
+        "\n{:<16} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "algorithm", "t50 (µs)", "t90 (µs)", "t100 (µs)", "steals", "sources", "starved"
+    );
+
+    for alg in [
+        Algorithm::Term,
+        Algorithm::TermRapdif,
+        Algorithm::DistMem,
+        Algorithm::MpiWs,
+        Algorithm::Pushing,
+    ] {
+        let mut cfg = RunConfig::new(alg, chunk);
+        cfg.trace = true;
+        let report = run_sim(machine.clone(), threads, &gen, &cfg);
+        assert_eq!(report.total_nodes, preset.expected.nodes);
+        let d = report.diffusion();
+        let m = report.steal_matrix();
+        let starved = d.first_work_ns.iter().filter(|t| t.is_none()).count();
+        let us = |t: Option<u64>| match t {
+            Some(ns) => format!("{:.1}", ns as f64 / 1e3),
+            None => "-".to_string(),
+        };
+        println!(
+            "{:<16} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10}",
+            report.label,
+            us(d.t50_ns),
+            us(d.t90_ns),
+            us(d.t100_ns),
+            m.total(),
+            m.distinct_victims(),
+            starved
+        );
+    }
+    println!("\nexpected shape: steal-half variants reach t90/t100 sooner and create");
+    println!("more distinct work sources than steal-one (paper §3.3.2).");
+}

@@ -1,0 +1,75 @@
+//! E2 — **Figure 4**: speedup and absolute performance at different chunk
+//! sizes, 256 threads, Kitty Hawk, all five implementations.
+//!
+//! Expected shape (paper §4.2, §4.2.1):
+//! - a "sweet spot" plateau of chunk sizes, falling off on both sides;
+//! - `upc-sharedmem` suffers *extreme* degradation at low chunk sizes
+//!   (cancelable-barrier churn);
+//! - `upc-distmem` performs at or above `mpi-ws`; each refinement
+//!   (`upc-term` → `upc-term-rapdif` → `upc-distmem`) improves on the last.
+//!
+//! Usage:
+//!   cargo run --release -p uts-bench --bin fig4
+//!     [--tree m] [--threads 256] [--machine kittyhawk] [--full]
+//!
+//! By default `upc-sharedmem` skips k=1 (its pathological point costs
+//! minutes of real time to simulate; the collapse is already unambiguous at
+//! k=2). Pass `--full` to sweep it anyway.
+
+use uts_bench::harness::{arg, flag, machine_by_name, measure, preset_by_name, print_table, write_csv};
+use worksteal::{Algorithm, UtsGen};
+
+fn main() {
+    let tree: String = arg("--tree", "m".to_string());
+    let threads: usize = arg("--threads", 256);
+    let machine_name: String = arg("--machine", "kittyhawk".to_string());
+    let machine = machine_by_name(&machine_name);
+    let preset = preset_by_name(&tree);
+    let gen = UtsGen::new(preset.spec);
+    let chunks = [1usize, 2, 4, 8, 16, 32, 64, 128];
+
+    println!(
+        "Figure 4: {} threads on {}, tree {} ({} nodes), chunk sizes {:?}",
+        threads, machine.name, preset.name, preset.expected.nodes, chunks
+    );
+
+    let mut rows = Vec::new();
+    for alg in Algorithm::paper_set() {
+        for &k in &chunks {
+            if alg == Algorithm::SharedMem && k == 1 && !flag("--full") {
+                eprintln!("(skipping upc-sharedmem k=1; pass --full to include)");
+                continue;
+            }
+            let row = measure(&machine, threads, &gen, alg, k, preset.expected.nodes);
+            eprintln!(
+                "  {} k={}: {:.2} Mn/s (speedup {:.1}) [{:.1}s real]",
+                row.label, k, row.mnodes_per_sec, row.speedup, row.t_real
+            );
+            rows.push(row);
+        }
+    }
+
+    print_table("Figure 4: performance vs chunk size", &rows);
+    write_csv("fig4", &rows);
+
+    // Headline checks the paper calls out.
+    let best = |label: &str| {
+        rows.iter()
+            .filter(|r| r.label == label)
+            .map(|r| r.mnodes_per_sec)
+            .fold(f64::MIN, f64::max)
+    };
+    let distmem = best("upc-distmem");
+    let term = best("upc-term");
+    let mpi = best("mpi-ws");
+    let sharedmem = best("upc-sharedmem");
+    println!("\npeak rates (Mn/s): upc-distmem {distmem:.1}, mpi-ws {mpi:.1}, upc-term {term:.1}, upc-sharedmem {sharedmem:.1}");
+    println!(
+        "upc-distmem vs upc-term improvement: {:+.1}% (paper: refinements total ≈ +37%)",
+        100.0 * (distmem / term - 1.0)
+    );
+    println!(
+        "upc-distmem vs mpi-ws: {:+.1}% (paper: \"exceeds the performance of the MPI implementation\")",
+        100.0 * (distmem / mpi - 1.0)
+    );
+}

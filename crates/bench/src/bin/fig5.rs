@@ -1,0 +1,84 @@
+//! E4 — **Figure 5**: speedup and absolute performance versus processor
+//! count on Topsail (paper: 157-billion-node tree, up to 1024 processors;
+//! `upc-distmem` reaches 1.7 Gnodes/s, speedup 819, efficiency 80%, with
+//! more than 85,000 steals/s — our trees are ~10⁴× smaller, so absolute efficiencies
+//! at 1024 threads are proportionally lower; the *curve shape* and the
+//! distmem-vs-mpi relationship are the reproduction targets).
+//!
+//! Usage:
+//!   cargo run --release -p uts-bench --bin fig5
+//!     [--tree xl] [--machine topsail] [--chunk 8] [--max-threads 1024]
+//!     [--alg both|distmem|mpi] [--min-threads 64]
+
+use uts_bench::harness::{arg, machine_by_name, measure, preset_by_name, print_table, write_csv};
+use worksteal::{Algorithm, UtsGen};
+
+fn main() {
+    let tree: String = arg("--tree", "xl".to_string());
+    let machine_name: String = arg("--machine", "topsail".to_string());
+    let chunk: usize = arg("--chunk", 8);
+    let max_threads: usize = arg("--max-threads", 1024);
+    let min_threads: usize = arg("--min-threads", 64);
+    let alg_filter: String = arg("--alg", "both".to_string());
+    let machine = machine_by_name(&machine_name);
+    let preset = preset_by_name(&tree);
+    let gen = UtsGen::new(preset.spec);
+
+    let mut threads = vec![64usize, 128, 256, 512, 1024];
+    threads.retain(|&p| p <= max_threads && p >= min_threads);
+    let algorithms: Vec<Algorithm> = match alg_filter.as_str() {
+        "both" => vec![Algorithm::DistMem, Algorithm::MpiWs],
+        "distmem" => vec![Algorithm::DistMem],
+        "mpi" => vec![Algorithm::MpiWs],
+        other => panic!("unknown --alg '{other}' (both|distmem|mpi)"),
+    };
+
+    println!(
+        "Figure 5: scaling on {} with tree {} ({} nodes), k={}",
+        machine.name, preset.name, preset.expected.nodes, chunk
+    );
+
+    let mut rows = Vec::new();
+    for &p in &threads {
+        for alg in algorithms.iter().copied() {
+            let row = measure(&machine, p, &gen, alg, chunk, preset.expected.nodes);
+            eprintln!(
+                "  {} p={}: {:.1} Mn/s speedup {:.1} eff {:.1}% steals/s {:.0} [{:.1}s real]",
+                row.label,
+                p,
+                row.mnodes_per_sec,
+                row.speedup,
+                100.0 * row.efficiency,
+                row.steals_per_sec,
+                row.t_real
+            );
+            rows.push(row);
+        }
+    }
+
+    print_table("Figure 5: speedup & performance vs processors", &rows);
+    write_csv(&format!("fig5_{tree}"), &rows);
+
+    // Abstract-style headline for the largest distmem run.
+    if let Some(r) = rows
+        .iter()
+        .filter(|r| r.label == "upc-distmem")
+        .max_by_key(|r| r.threads)
+    {
+        println!(
+            "\nheadline (upc-distmem @ p={}): {:.1} Mnodes/s, speedup {:.0}, efficiency {:.0}%, {:.0} steals/s",
+            r.threads,
+            r.mnodes_per_sec,
+            r.speedup,
+            100.0 * r.efficiency,
+            r.steals_per_sec
+        );
+        println!(
+            "paper @1024 on a 157e9-node tree: 1700 Mnodes/s, speedup 819, efficiency 80%, >85,000 steals/s"
+        );
+        println!(
+            "(per-thread work here: {:.0} nodes vs the paper's ~153,000,000 — see EXPERIMENTS.md E4)",
+            r.nodes as f64 / r.threads as f64
+        );
+    }
+}

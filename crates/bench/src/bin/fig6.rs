@@ -1,0 +1,64 @@
+//! E5 — **Figure 6**: shared-memory performance portability on the SGI
+//! Altix 3700. Paper: "Results are close for both UPC implementations:
+//! near-linear speedup on up to at least 64 processors. ... the performance
+//! of the MPI implementation lags slightly behind the UPC implementations
+//! on this platform."
+//!
+//! Usage:
+//!   cargo run --release -p uts-bench --bin fig6
+//!     [--tree m] [--chunk 8] [--max-threads 64]
+
+use uts_bench::harness::{arg, machine_by_name, measure, preset_by_name, print_table, write_csv};
+use worksteal::{Algorithm, UtsGen};
+
+fn main() {
+    let tree: String = arg("--tree", "m".to_string());
+    let chunk: usize = arg("--chunk", 8);
+    let max_threads: usize = arg("--max-threads", 64);
+    let machine = machine_by_name("altix");
+    let preset = preset_by_name(&tree);
+    let gen = UtsGen::new(preset.spec);
+
+    let mut threads = vec![1usize, 2, 4, 8, 16, 32, 64];
+    threads.retain(|&p| p <= max_threads);
+
+    println!(
+        "Figure 6: SGI Altix 3700 (sim), tree {} ({} nodes), k={}",
+        preset.name, preset.expected.nodes, chunk
+    );
+
+    let mut rows = Vec::new();
+    for &p in &threads {
+        for alg in [Algorithm::SharedMem, Algorithm::DistMem, Algorithm::MpiWs] {
+            let row = measure(&machine, p, &gen, alg, chunk, preset.expected.nodes);
+            eprintln!(
+                "  {} p={}: speedup {:.2} ({:.1}% eff) [{:.1}s real]",
+                row.label,
+                p,
+                row.speedup,
+                100.0 * row.efficiency,
+                row.t_real
+            );
+            rows.push(row);
+        }
+    }
+
+    print_table("Figure 6: Altix shared-memory scaling", &rows);
+    write_csv("fig6", &rows);
+
+    // Shape checks.
+    let eff_at = |label: &str, p: usize| {
+        rows.iter()
+            .find(|r| r.label == label && r.threads == p)
+            .map(|r| r.efficiency)
+            .unwrap_or(0.0)
+    };
+    let pmax = *threads.last().unwrap();
+    println!(
+        "\nefficiency at p={pmax}: upc-sharedmem {:.0}%, upc-distmem {:.0}%, mpi-ws {:.0}%",
+        100.0 * eff_at("upc-sharedmem", pmax),
+        100.0 * eff_at("upc-distmem", pmax),
+        100.0 * eff_at("mpi-ws", pmax)
+    );
+    println!("paper: both UPC implementations near-linear; MPI lags slightly behind.");
+}

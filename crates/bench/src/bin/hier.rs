@@ -1,0 +1,59 @@
+//! E9 — extension from §6.2's future work: "One way we may decrease the
+//! latency of probing for work and stealing in large clusters of shared
+//! memory multiprocessor nodes is to first try to steal work within a
+//! cluster node before probing off-node."
+//!
+//! Compares `upc-distmem` (flat random victim selection) with `upc-hier`
+//! (same-node victims probed first, via the `bupc_thread_distance` analog).
+//!
+//! Usage:
+//!   cargo run --release -p uts-bench --bin hier
+//!     [--tree l] [--threads 256] [--chunk 8] [--machine topsail]
+
+use std::time::Instant;
+
+use uts_bench::harness::{arg, machine_by_name, preset_by_name, print_table, row_from_report, write_csv};
+use worksteal::{run_sim, Algorithm, RunConfig, UtsGen};
+
+fn main() {
+    let tree: String = arg("--tree", "l".to_string());
+    let threads: usize = arg("--threads", 256);
+    let chunk: usize = arg("--chunk", 8);
+    let machine_name: String = arg("--machine", "topsail".to_string());
+    let machine = machine_by_name(&machine_name);
+    let preset = preset_by_name(&tree);
+    let gen = UtsGen::new(preset.spec);
+
+    println!(
+        "Hierarchical stealing: {} threads ({} per node), k={}, tree {} on {}",
+        threads, machine.threads_per_node, chunk, preset.name, machine.name
+    );
+
+    let mut rows = Vec::new();
+    let mut locality = Vec::new();
+    for alg in [Algorithm::DistMem, Algorithm::Hier] {
+        let mut cfg = RunConfig::new(alg, chunk);
+        cfg.trace = true;
+        let t0 = Instant::now();
+        let report = run_sim(machine.clone(), threads, &gen, &cfg);
+        assert_eq!(report.total_nodes, preset.expected.nodes);
+        locality.push(
+            report
+                .steal_matrix()
+                .same_node_fraction(machine.threads_per_node),
+        );
+        rows.push(row_from_report(&report, machine.seq_rate(), t0.elapsed().as_secs_f64()));
+    }
+    print_table("Flat vs hierarchical victim selection", &rows);
+    write_csv("hier", &rows);
+
+    println!(
+        "\nsteal locality (fraction of steals staying on a {}-thread node):",
+        machine.threads_per_node
+    );
+    println!("  upc-distmem {:.1}%   upc-hier {:.1}%", 100.0 * locality[0], 100.0 * locality[1]);
+    println!(
+        "upc-hier vs upc-distmem rate: {:+.1}%",
+        100.0 * (rows[1].mnodes_per_sec / rows[0].mnodes_per_sec - 1.0)
+    );
+}

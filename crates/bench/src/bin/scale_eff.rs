@@ -1,0 +1,51 @@
+//! Supplemental — efficiency versus problem size at fixed thread count.
+//!
+//! Our trees are ~10⁴× smaller than the paper's (10.6e9 / 157e9 nodes), so
+//! absolute parallel efficiency at high thread counts is necessarily lower:
+//! there is less work to amortise each steal. This experiment quantifies
+//! that, showing efficiency at fixed p climbing with tree size — the
+//! evidence that the efficiency gap versus the paper is a scale effect, not
+//! an algorithmic one (see EXPERIMENTS.md).
+//!
+//! Usage:
+//!   cargo run --release -p uts-bench --bin scale_eff
+//!     [--threads 64] [--chunk 8] [--machine topsail]
+
+use uts_bench::harness::{arg, machine_by_name, measure, preset_by_name, print_table, write_csv};
+use worksteal::{Algorithm, UtsGen};
+
+fn main() {
+    let threads: usize = arg("--threads", 64);
+    let chunk: usize = arg("--chunk", 8);
+    let machine_name: String = arg("--machine", "topsail".to_string());
+    let machine = machine_by_name(&machine_name);
+
+    println!(
+        "Efficiency vs tree size: upc-distmem, {} threads, k={}, on {}",
+        threads, chunk, machine.name
+    );
+
+    let mut rows = Vec::new();
+    for tree in ["s", "m", "l", "xl"] {
+        let preset = preset_by_name(tree);
+        let gen = UtsGen::new(preset.spec);
+        let row = measure(
+            &machine,
+            threads,
+            &gen,
+            Algorithm::DistMem,
+            chunk,
+            preset.expected.nodes,
+        );
+        eprintln!(
+            "  {}: {} nodes -> eff {:.1}% [{:.1}s real]",
+            preset.name,
+            preset.expected.nodes,
+            100.0 * row.efficiency,
+            row.t_real
+        );
+        rows.push(row);
+    }
+    print_table("Efficiency vs problem size (fixed p)", &rows);
+    write_csv("scale_eff", &rows);
+}

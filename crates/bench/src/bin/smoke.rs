@@ -1,0 +1,31 @@
+//! Quick sanity sweep: a handful of representative configurations at
+//! Figure-4 scale, asserting node conservation on each. Useful as a fast
+//! end-to-end check that the full stack (tree gen -> algorithms ->
+//! simulator -> reporting) is healthy before launching the long harness
+//! runs. Takes ~1-2 minutes.
+//!
+//! Run with: `cargo run --release -p uts-bench --bin smoke`
+
+use std::time::Instant;
+use pgas::MachineModel;
+use worksteal::{run_sim, Algorithm, RunConfig, UtsGen};
+
+fn main() {
+    let p = uts_tree::presets::t_l();
+    let gen = UtsGen::new(p.spec);
+    let m = MachineModel::kittyhawk();
+    let seq_rate = m.seq_rate();
+    for (threads, alg, k) in [
+        (256usize, Algorithm::DistMem, 8),
+        (256, Algorithm::MpiWs, 8),
+        (256, Algorithm::TermRapdif, 8),
+        (256, Algorithm::Term, 8),
+        (256, Algorithm::SharedMem, 8),
+    ] {
+        let cfg = RunConfig::new(alg, k);
+        let t0 = Instant::now();
+        let r = run_sim(m.clone(), threads, &gen, &cfg);
+        assert_eq!(r.total_nodes, p.expected.nodes, "{} {}", alg.label(), threads);
+        println!("{} [real {:>6.2}s]", r.summary_row(seq_rate), t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,58 @@
+//! E1 — §4.1 sequential performance.
+//!
+//! The paper anchors everything on the sequential exploration rate: 2.10
+//! Mnodes/s (Topsail Xeon E5345), 2.39 Mnodes/s (Kitty Hawk Xeon E5150),
+//! 1.12 Mnodes/s (Altix Itanium2), dominated by SHA-1 evaluation. This
+//! binary reports (a) the modelled rates our machine presets encode, (b)
+//! a 1-thread virtual run per platform (which should match the model within
+//! protocol overhead), and (c) this host's *real* SHA-1-limited exploration
+//! rate for context.
+//!
+//! Usage: `cargo run --release -p uts-bench --bin table_seq [--tree m]`
+
+use std::time::Instant;
+
+use uts_bench::harness::{arg, machine_by_name, measure, preset_by_name};
+use worksteal::{Algorithm, UtsGen};
+
+fn main() {
+    let tree: String = arg("--tree", "m".to_string());
+    let preset = preset_by_name(&tree);
+    let gen = UtsGen::new(preset.spec);
+
+    println!("== E1: sequential exploration rates (paper §4.1) ==");
+    println!("tree {} ({} nodes)", preset.name, preset.expected.nodes);
+    println!(
+        "\n{:<10} {:>14} {:>14} {:>17}",
+        "platform", "paper Mn/s", "model Mn/s", "1-thread sim Mn/s"
+    );
+    for (name, paper_rate) in [("topsail", 2.10), ("kittyhawk", 2.39), ("altix", 1.12)] {
+        let machine = machine_by_name(name);
+        let row = measure(
+            &machine,
+            1,
+            &gen,
+            Algorithm::DistMem,
+            8,
+            preset.expected.nodes,
+        );
+        println!(
+            "{:<10} {:>14.2} {:>14.2} {:>17.2}",
+            name,
+            paper_rate,
+            machine.seq_rate() / 1e6,
+            row.mnodes_per_sec
+        );
+    }
+
+    // Real hardware rate (informational; depends on this host's CPU).
+    let t0 = Instant::now();
+    let (nodes, _) = worksteal::seq_run(&gen);
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "\nthis host's real sequential rate: {:.2} Mnodes/s ({} nodes in {:.2}s)",
+        nodes as f64 / dt / 1e6,
+        nodes,
+        dt
+    );
+}

@@ -1,0 +1,64 @@
+//! Supplemental — load balancing across the wider UTS tree family.
+//!
+//! The paper evaluates binomial trees only (the hardest case: scale-free
+//! imbalance). The UTS suite also defines geometric and hybrid shapes; this
+//! experiment runs `upc-distmem` and `mpi-ws` across the family to show the
+//! balancer is law-agnostic, and reports how steal traffic varies with tree
+//! shape (bounded-depth geometric trees are far easier to balance).
+//!
+//! Usage:
+//!   cargo run --release -p uts-bench --bin tree_family
+//!     [--threads 64] [--chunk 8] [--machine topsail]
+
+use std::time::Instant;
+
+use uts_bench::harness::{arg, machine_by_name, print_table, row_from_report, write_csv};
+use uts_tree::{seq::dfs_count, GeoShape, TreeSpec};
+use worksteal::{run_sim, Algorithm, RunConfig, UtsGen};
+
+fn main() {
+    let threads: usize = arg("--threads", 64);
+    let chunk: usize = arg("--chunk", 8);
+    let machine_name: String = arg("--machine", "topsail".to_string());
+    let machine = machine_by_name(&machine_name);
+
+    let workloads: Vec<(&str, TreeSpec)> = vec![
+        ("binomial(T-S)", uts_tree::presets::t_s().spec),
+        ("geo-fixed", TreeSpec::geometric(7, 3.2, 11, GeoShape::Fixed)),
+        ("geo-linear", TreeSpec::geometric(9, 5.0, 14, GeoShape::Linear)),
+        ("geo-expdec", TreeSpec::geometric(3, 12.0, 18, GeoShape::ExpDec)),
+        ("hybrid", TreeSpec::hybrid(9, 3.0, 7, 2, 0.4995)),
+    ];
+
+    println!(
+        "Tree-family comparison: {} threads, k={}, on {}",
+        threads, chunk, machine.name
+    );
+
+    let mut rows = Vec::new();
+    for (name, spec) in &workloads {
+        let expect = dfs_count(spec);
+        println!(
+            "\nworkload {name}: {} nodes, max depth {}, max stack {}",
+            expect.nodes, expect.max_depth, expect.max_stack
+        );
+        let gen = UtsGen::new(*spec);
+        for alg in [Algorithm::DistMem, Algorithm::MpiWs] {
+            let cfg = RunConfig::new(alg, chunk);
+            let t0 = Instant::now();
+            let report = run_sim(machine.clone(), threads, &gen, &cfg);
+            assert_eq!(report.total_nodes, expect.nodes, "{name}");
+            let row = row_from_report(&report, machine.seq_rate(), t0.elapsed().as_secs_f64());
+            println!(
+                "  {:<14} eff {:>5.1}%  steals {:>6}  steals/Mnode {:>8.1}",
+                row.label,
+                100.0 * row.efficiency,
+                row.steals,
+                row.steals as f64 / (expect.nodes as f64 / 1e6),
+            );
+            rows.push(row);
+        }
+    }
+    print_table("Tree family (all workloads)", &rows);
+    write_csv("tree_family", &rows);
+}

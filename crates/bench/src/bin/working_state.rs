@@ -1,0 +1,60 @@
+//! E7 — §6.2 state-time decomposition: "We observe 93% efficiency of
+//! threads *in the working state* compared to a single thread running
+//! optimized sequential UTS. ... Outside the working state, overhead time is
+//! spent searching for work, stealing work, or in termination detection."
+//!
+//! Usage:
+//!   cargo run --release -p uts-bench --bin working_state
+//!     [--tree l] [--threads 256] [--chunk 8] [--machine topsail]
+
+use pgas::MachineModel;
+use uts_bench::harness::{arg, machine_by_name, preset_by_name};
+use worksteal::state::State;
+use worksteal::{run_sim, Algorithm, RunConfig, UtsGen};
+
+fn main() {
+    let tree: String = arg("--tree", "l".to_string());
+    let threads: usize = arg("--threads", 256);
+    let chunk: usize = arg("--chunk", 8);
+    let machine_name: String = arg("--machine", "topsail".to_string());
+    let machine: MachineModel = machine_by_name(&machine_name);
+    let preset = preset_by_name(&tree);
+    let gen = UtsGen::new(preset.spec);
+
+    println!(
+        "State decomposition: upc-distmem, {} threads, k={}, tree {} on {}",
+        threads, chunk, preset.name, machine.name
+    );
+    let cfg = RunConfig::new(Algorithm::DistMem, chunk);
+    let report = run_sim(machine.clone(), threads, &gen, &cfg);
+    assert_eq!(report.total_nodes, preset.expected.nodes);
+
+    println!("\nfraction of total thread-time per Figure-1 state:");
+    for (name, s) in [
+        ("Working", State::Working),
+        ("Searching", State::Searching),
+        ("Stealing", State::Stealing),
+        ("Terminating", State::Terminating),
+    ] {
+        println!("  {:<12} {:>6.2}%", name, 100.0 * report.state_fraction(s));
+    }
+    println!(
+        "\nworking-state efficiency (useful work / working-state time): {:.1}%",
+        100.0 * report.working_state_efficiency()
+    );
+    println!("paper §6.2: 93% at 1024 threads (the rest: steal servicing, cold misses)");
+
+    let totals = report.totals();
+    println!("\naggregate protocol activity:");
+    println!("  releases {} reacquires {}", totals.releases, totals.reacquires);
+    println!(
+        "  steals ok {} failed {} chunks stolen {} requests serviced {}",
+        totals.steals_ok, totals.steals_failed, totals.chunks_stolen, totals.requests_serviced
+    );
+    println!(
+        "  probes {} | comm ops {} | locks acquired {} (lock-less stack: must be 0)",
+        totals.probes,
+        totals.comm.total_ops(),
+        totals.comm.lock_acquires
+    );
+}

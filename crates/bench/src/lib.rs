@@ -1,0 +1,2 @@
+//! Shared helpers for the figure-reproduction binaries. See `src/bin/`.
+pub mod harness;

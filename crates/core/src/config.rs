@@ -1,0 +1,137 @@
+//! Run configuration: algorithm selection and tuning knobs.
+
+/// Which load-balancing implementation to run (paper Figure 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// §3.1 `upc-sharedmem`: lock-protected shared stack region, cancelable
+    /// barrier termination, single-chunk steals.
+    SharedMem,
+    /// §3.3.1 `upc-term`: SharedMem + streamlined termination detection.
+    Term,
+    /// §3.3.2 `upc-term-rapdif`: Term + steal-half rapid diffusion.
+    TermRapdif,
+    /// §3.3.3 `upc-distmem`: TermRapdif + lock-less request/response stack.
+    DistMem,
+    /// §3.2 `mpi-ws`: message-passing work stealing with polling victims and
+    /// token-ring termination.
+    MpiWs,
+    /// Extension (§6.2 future work): DistMem with node-local-first victim
+    /// selection (the `bupc_thread_distance()` idea).
+    Hier,
+    /// Extension (paper ref \[16\] flavour): randomized work *pushing* —
+    /// loaded threads push surplus chunks to random targets.
+    Pushing,
+}
+
+impl Algorithm {
+    /// The paper's label for this implementation.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::SharedMem => "upc-sharedmem",
+            Algorithm::Term => "upc-term",
+            Algorithm::TermRapdif => "upc-term-rapdif",
+            Algorithm::DistMem => "upc-distmem",
+            Algorithm::MpiWs => "mpi-ws",
+            Algorithm::Hier => "upc-hier",
+            Algorithm::Pushing => "push-random",
+        }
+    }
+
+    /// The five implementations evaluated in the paper, in refinement order.
+    pub fn paper_set() -> [Algorithm; 5] {
+        [
+            Algorithm::SharedMem,
+            Algorithm::Term,
+            Algorithm::TermRapdif,
+            Algorithm::DistMem,
+            Algorithm::MpiWs,
+        ]
+    }
+
+    /// Every implementation in this crate.
+    pub fn all() -> [Algorithm; 7] {
+        [
+            Algorithm::SharedMem,
+            Algorithm::Term,
+            Algorithm::TermRapdif,
+            Algorithm::DistMem,
+            Algorithm::MpiWs,
+            Algorithm::Hier,
+            Algorithm::Pushing,
+        ]
+    }
+}
+
+/// Tuning parameters for a run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// Chunk size `k`: nodes moved per release/steal unit (§2: "the value of
+    /// k represents a tradeoff between load imbalance and communication
+    /// costs").
+    pub chunk_size: usize,
+    /// Local-region depth that triggers a release. The paper releases "when
+    /// the local region has built up a comfortable stack depth (at least 2k
+    /// in our implementation)".
+    pub release_depth: usize,
+    /// For polling implementations (DistMem victim polling, MpiWs): number
+    /// of nodes explored between polls for incoming requests.
+    pub poll_interval: u64,
+    /// Seed for the pseudo-random victim probe order.
+    pub seed: u64,
+    /// Record per-thread [`crate::trace::Event`] logs (state transitions,
+    /// steals, releases) for post-run analysis. Off by default: tracing
+    /// allocates.
+    pub trace: bool,
+}
+
+impl RunConfig {
+    /// Default configuration with a given algorithm and chunk size.
+    pub fn new(algorithm: Algorithm, chunk_size: usize) -> RunConfig {
+        RunConfig {
+            algorithm,
+            chunk_size,
+            release_depth: 2 * chunk_size,
+            poll_interval: 8,
+            seed: 0x5EED_CAFE,
+            trace: false,
+        }
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig::new(Algorithm::DistMem, 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_figure3() {
+        assert_eq!(Algorithm::SharedMem.label(), "upc-sharedmem");
+        assert_eq!(Algorithm::Term.label(), "upc-term");
+        assert_eq!(Algorithm::TermRapdif.label(), "upc-term-rapdif");
+        assert_eq!(Algorithm::DistMem.label(), "upc-distmem");
+        assert_eq!(Algorithm::MpiWs.label(), "mpi-ws");
+    }
+
+    #[test]
+    fn default_release_depth_is_twice_chunk() {
+        let cfg = RunConfig::new(Algorithm::Term, 16);
+        assert_eq!(cfg.release_depth, 32);
+    }
+
+    #[test]
+    fn paper_set_has_five_distinct() {
+        let set = Algorithm::paper_set();
+        for i in 0..set.len() {
+            for j in i + 1..set.len() {
+                assert_ne!(set[i], set[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! `upc-distmem` (§3.3.3): the lock-less DFS stack with an asynchronous
+//! request/response steal protocol — the paper's headline algorithm.
+//!
+//! Division of labour:
+//!
+//! - The **owner** has complete control of its own stack: it alone moves the
+//!   region counters, so no lock exists on the stack at all. While working
+//!   it polls a *local* request cell every `poll_interval` nodes ("the costs
+//!   are minimal since it only involves a read of a local variable without
+//!   locking").
+//! - A **thief** that sees `work_avail > 0` at a victim CASes its thread id
+//!   into the victim's request cell (our one remote atomic — the paper uses
+//!   a small lock-protected request variable; a CAS is the modern identical-
+//!   cost equivalent). It then spins on its *own* response cells until the
+//!   victim answers with `(offset, amount)` or a denial, and finally pulls
+//!   the granted chunks with a one-sided bulk get — "the victim is not
+//!   required to actively participate".
+//! - Servicing a request costs the victim **two remote writes** (response
+//!   offset + amount) and a local reset of the request cell, exactly the
+//!   §3.3.3 budget.
+//!
+//! Rapid diffusion (§3.3.2) is inherited: the victim grants half its
+//! available chunks when more than one is available. Termination detection
+//! is the §3.3.1 streamlined barrier. The `hier` flag enables the §6.2
+//! future-work refinement: probe same-node victims before off-node ones.
+
+use pgas::comm::Item;
+use pgas::Comm;
+
+use crate::barrier::{TerminationBarrier, BARRIER_BACKOFF_NS};
+use crate::config::RunConfig;
+use crate::probe::ProbeOrder;
+use crate::report::ThreadResult;
+use crate::stack::DfsStack;
+use crate::state::{State, StateClock};
+use crate::taskgen::TaskGen;
+use crate::trace::TraceLog;
+use crate::vars;
+
+/// Backoff while spinning on our own response cell (local reads).
+const RESPONSE_BACKOFF_NS: u64 = 1_500;
+
+/// Run the lock-less worker on this thread.
+pub fn run<G, C>(comm: &mut C, gen: &G, cfg: &RunConfig, hier: bool) -> ThreadResult
+where
+    G: TaskGen,
+    C: Comm<G::Task>,
+{
+    let me = comm.my_id();
+    let n = comm.n_threads();
+    let mut stack: DfsStack<G::Task> = DfsStack::new(cfg.chunk_size);
+    let mut probe = if hier {
+        ProbeOrder::hierarchical(me, n, cfg.seed, comm.machine())
+    } else {
+        ProbeOrder::flat(me, n, cfg.seed)
+    };
+    let mut res = ThreadResult::default();
+    let mut clock = StateClock::new(comm.now());
+    let mut log = TraceLog::new(cfg.trace);
+    let mut scratch: Vec<G::Task> = Vec::new();
+
+    // Scalar cells start at 0; the request cell's idle value is -1. Arm it
+    // before any exploration (thieves CAS against NO_REQUEST, so until this
+    // write lands their attempts simply fail).
+    comm.put(me, vars::REQUEST, vars::NO_REQUEST);
+
+    if me == 0 {
+        stack.push(gen.root());
+    }
+
+    'outer: loop {
+        // ------------------------------------------------------- Working
+        { let now = comm.now(); clock.transition(State::Working, now); log.enter(State::Working, now); }
+        let mut since_poll: u64 = 0;
+        loop {
+            if stack.is_local_empty() {
+                if stack.avail > 0 {
+                    reacquire(comm, &mut stack, &mut res);
+                    continue;
+                }
+                break; // out of work
+            }
+            let node = stack.pop().expect("nonempty local region");
+            res.nodes += 1;
+            scratch.clear();
+            gen.expand(&node, &mut scratch);
+            stack.push_all(&scratch);
+            comm.work(1);
+            since_poll += 1;
+            if since_poll >= cfg.poll_interval {
+                since_poll = 0;
+                service_request(comm, &mut stack, &mut res);
+            }
+            if stack.should_release(cfg.release_depth) {
+                release(comm, &mut stack, &mut res);
+                log.release(comm.now());
+            }
+        }
+        // Out of work: deny any in-flight request, reclaim dead area space,
+        // and publish the tri-state marker.
+        service_request(comm, &mut stack, &mut res);
+        compact(comm, &mut stack);
+        comm.put(me, vars::WORK_AVAIL, vars::OUT_OF_WORK);
+
+        // --------------------------------------------------- Searching
+        { let now = comm.now(); clock.transition(State::Searching, now); log.enter(State::Searching, now); }
+        loop {
+            let mut all_out = true;
+            for v in probe.cycle() {
+                res.probes += 1;
+                let avail = comm.get(v, vars::WORK_AVAIL);
+                if avail > 0 {
+                    { let now = comm.now(); clock.transition(State::Stealing, now); log.enter(State::Stealing, now); }
+                    if steal(comm, &mut stack, v, &mut res, &mut log) {
+                        comm.put(me, vars::WORK_AVAIL, 0);
+                        continue 'outer;
+                    }
+                    { let now = comm.now(); clock.transition(State::Searching, now); log.enter(State::Searching, now); }
+                    all_out = false;
+                } else if avail == 0 {
+                    all_out = false;
+                }
+                // Keep the protocol responsive while we wander: deny thieves
+                // that CASed us on a stale read.
+                deny_request(comm, &mut res);
+            }
+            if !all_out {
+                continue;
+            }
+
+            // ------------------------------------------------ Terminating
+            { let now = comm.now(); clock.transition(State::Terminating, now); log.enter(State::Terminating, now); }
+            if barrier_wait(comm, &mut stack, &mut probe, &mut res, &mut log) {
+                break 'outer;
+            }
+            comm.put(me, vars::WORK_AVAIL, 0);
+            continue 'outer;
+        }
+    }
+
+    let (state_ns, transitions) = clock.finish(comm.now());
+    res.state_ns = state_ns;
+    res.transitions = transitions;
+    res.comm = comm.stats().clone();
+    res.events = log.into_events();
+    res
+}
+
+/// Owner: move the oldest `k` local nodes into the shared region. No lock —
+/// a local bulk write plus a local scalar store.
+fn release<T, C>(comm: &mut C, stack: &mut DfsStack<T>, res: &mut ThreadResult)
+where
+    T: Item,
+    C: Comm<T>,
+{
+    let me = comm.my_id();
+    let chunk = stack.take_bottom_chunk();
+    comm.area_write(me, stack.release_offset(), &chunk);
+    stack.avail += 1;
+    comm.put(me, vars::WORK_AVAIL, stack.avail as i64);
+    res.releases += 1;
+}
+
+/// Owner: take the newest shared chunk back. No lock.
+fn reacquire<T, C>(comm: &mut C, stack: &mut DfsStack<T>, res: &mut ThreadResult)
+where
+    T: Item,
+    C: Comm<T>,
+{
+    let me = comm.my_id();
+    let mut buf = Vec::with_capacity(stack.k);
+    comm.area_read(me, stack.top_chunk_offset(), stack.k, &mut buf);
+    stack.avail -= 1;
+    comm.put(me, vars::WORK_AVAIL, stack.avail as i64);
+    stack.push_all(&buf);
+    res.reacquires += 1;
+}
+
+/// Owner: answer a pending steal request, granting half the available
+/// chunks (§3.3.2) or denying with amount 0. Two remote writes + local reset.
+fn service_request<T, C>(comm: &mut C, stack: &mut DfsStack<T>, res: &mut ThreadResult)
+where
+    T: Item,
+    C: Comm<T>,
+{
+    let me = comm.my_id();
+    let req = comm.get(me, vars::REQUEST); // local read
+    if req == vars::NO_REQUEST {
+        return;
+    }
+    let thief = req as usize;
+    let give = DfsStack::<T>::steal_half_amount(stack.avail);
+    if give > 0 {
+        let offset = stack.grant(give);
+        comm.put(me, vars::WORK_AVAIL, stack.avail as i64);
+        // Response offset must land before the amount: the thief spins on
+        // the amount cell.
+        comm.put(thief, vars::RESP_OFFSET, offset as i64);
+        comm.put(thief, vars::RESP_AMT, give as i64);
+        res.requests_serviced += 1;
+    } else {
+        comm.put(thief, vars::RESP_AMT, 0);
+    }
+    comm.put(me, vars::REQUEST, vars::NO_REQUEST); // local reset
+}
+
+/// Deny a pending request outright (used when we have nothing to give and
+/// are not in the Working state).
+fn deny_request<T, C>(comm: &mut C, res: &mut ThreadResult)
+where
+    T: Item,
+    C: Comm<T>,
+{
+    let me = comm.my_id();
+    let req = comm.get(me, vars::REQUEST);
+    if req != vars::NO_REQUEST {
+        comm.put(req as usize, vars::RESP_AMT, 0);
+        comm.put(me, vars::REQUEST, vars::NO_REQUEST);
+        let _ = res;
+    }
+}
+
+/// Owner: reclaim the dead region below `base` once every granted chunk has
+/// been acknowledged by its thief.
+fn compact<T, C>(comm: &mut C, stack: &mut DfsStack<T>)
+where
+    T: Item,
+    C: Comm<T>,
+{
+    let me = comm.my_id();
+    if stack.base == 0 {
+        return;
+    }
+    let acked = comm.get(me, vars::ACK) as u64; // local read
+    if stack.can_compact(acked) {
+        comm.area_truncate(me, 0);
+        comm.put(me, vars::ACK, 0);
+        stack.granted = 0;
+        stack.reset_region();
+    }
+}
+
+/// Thief: the §3.3.3 request/response steal. Returns true if work arrived.
+fn steal<T, C>(
+    comm: &mut C,
+    stack: &mut DfsStack<T>,
+    victim: usize,
+    res: &mut ThreadResult,
+    log: &mut TraceLog,
+) -> bool
+where
+    T: Item,
+    C: Comm<T>,
+{
+    let me = comm.my_id();
+    // Arm our response cell, then try to install ourselves as the requester.
+    comm.put(me, vars::RESP_AMT, vars::RESP_PENDING);
+    let observed = comm.cas(victim, vars::REQUEST, vars::NO_REQUEST, me as i64);
+    if observed != vars::NO_REQUEST {
+        // Another thief got there first ("If the request is denied ... the
+        // thief continues probing other threads").
+        res.steals_failed += 1;
+        log.steal_fail(victim, comm.now());
+        return false;
+    }
+    // Wait for the victim's answer on our own (local-affinity) cell.
+    loop {
+        let amt = comm.get(me, vars::RESP_AMT);
+        if amt == vars::RESP_PENDING {
+            // Stay responsive to thieves that CASed us on a stale read.
+            deny_request(comm, res);
+            comm.advance_idle(RESPONSE_BACKOFF_NS);
+            continue;
+        }
+        if amt == 0 {
+            res.steals_failed += 1;
+            log.steal_fail(victim, comm.now());
+            return false;
+        }
+        let amt = amt as usize;
+        let offset = comm.get(me, vars::RESP_OFFSET) as usize;
+        // One-sided transfer; the victim keeps exploring meanwhile.
+        let mut buf = Vec::with_capacity(amt * stack.k);
+        comm.area_read(victim, offset, amt * stack.k, &mut buf);
+        comm.add(victim, vars::ACK, amt as i64);
+        stack.push_all(&buf);
+        res.steals_ok += 1;
+        res.chunks_stolen += amt as u64;
+        log.steal_ok(victim, amt as u64, comm.now());
+        return true;
+    }
+}
+
+/// §3.3.1 in-barrier loop, lock-less edition: spin on our local termination
+/// flag, probe one victim per iteration, keep denying steal requests.
+/// Returns true on termination, false if we left with stolen work.
+fn barrier_wait<T, C>(
+    comm: &mut C,
+    stack: &mut DfsStack<T>,
+    probe: &mut ProbeOrder,
+    res: &mut ThreadResult,
+    log: &mut TraceLog,
+) -> bool
+where
+    T: Item,
+    C: Comm<T>,
+{
+    if TerminationBarrier::enter(comm) {
+        TerminationBarrier::announce_root(comm);
+    }
+    loop {
+        if TerminationBarrier::term_seen(comm) {
+            TerminationBarrier::propagate(comm);
+            return true;
+        }
+        deny_request(comm, res);
+        if let Some(v) = probe.one() {
+            res.probes += 1;
+            if comm.get(v, vars::WORK_AVAIL) > 0 {
+                TerminationBarrier::leave(comm);
+                if steal(comm, stack, v, res, log) {
+                    return false;
+                }
+                if TerminationBarrier::enter(comm) {
+                    TerminationBarrier::announce_root(comm);
+                }
+            }
+        }
+        comm.advance_idle(BARRIER_BACKOFF_NS);
+    }
+}

@@ -1,0 +1,218 @@
+//! Run harness: dispatch an [`Algorithm`] onto a backend and assemble the
+//! [`RunReport`].
+
+use std::time::Instant;
+
+use pgas::native::NativeCluster;
+use pgas::sim::SimCluster;
+use pgas::{Comm, MachineModel};
+
+use pgas::Collectives;
+
+use crate::config::{Algorithm, RunConfig};
+use crate::locked::{StealAmount, TerminationStyle};
+use crate::report::{RunReport, ThreadResult};
+use crate::taskgen::TaskGen;
+use crate::{distmem, locked, mpi_ws, pushing, vars};
+
+/// Run the configured algorithm's worker body on this thread. Exposed so
+/// custom harnesses can embed workers in their own clusters.
+pub fn worker<G, C>(comm: &mut C, gen: &G, cfg: &RunConfig) -> ThreadResult
+where
+    G: TaskGen,
+    C: Comm<G::Task>,
+{
+    let mut res = match cfg.algorithm {
+        Algorithm::SharedMem => locked::run(
+            comm,
+            gen,
+            cfg,
+            TerminationStyle::Cancelable,
+            StealAmount::One,
+        ),
+        Algorithm::Term => locked::run(
+            comm,
+            gen,
+            cfg,
+            TerminationStyle::Streamlined,
+            StealAmount::One,
+        ),
+        Algorithm::TermRapdif => locked::run(
+            comm,
+            gen,
+            cfg,
+            TerminationStyle::Streamlined,
+            StealAmount::Half,
+        ),
+        Algorithm::DistMem => distmem::run(comm, gen, cfg, false),
+        Algorithm::Hier => distmem::run(comm, gen, cfg, true),
+        Algorithm::MpiWs => mpi_ws::run(comm, gen, cfg),
+        Algorithm::Pushing => pushing::run(comm, gen, cfg),
+    };
+    // In-band final count, as the original UTS does with upc_all_reduce
+    // after termination. Every thread learns the global total.
+    let mut coll = Collectives::new(vars::COLL_BASE);
+    res.reduced_total = coll.all_reduce_sum(comm, res.nodes as i64) as u64;
+    res
+}
+
+/// Run on the virtual-time simulator: `nthreads` simulated UPC threads over
+/// `machine`'s cost model. Deterministic for fixed config; the makespan is
+/// virtual time.
+pub fn run_sim<G>(machine: MachineModel, nthreads: usize, gen: &G, cfg: &RunConfig) -> RunReport
+where
+    G: TaskGen,
+{
+    let machine_name = machine.name;
+    let cluster: SimCluster<G::Task> = SimCluster::new(machine, nthreads, vars::space_config());
+    let report = cluster.run(|comm| worker(comm, gen, cfg));
+    assemble(
+        cfg,
+        machine_name,
+        nthreads,
+        report.makespan_ns,
+        report.results,
+    )
+}
+
+/// Run on real OS threads (the shared-memory setting). The makespan is
+/// wall-clock time.
+pub fn run_native<G>(machine: MachineModel, nthreads: usize, gen: &G, cfg: &RunConfig) -> RunReport
+where
+    G: TaskGen,
+{
+    let machine_name = machine.name;
+    let cluster: NativeCluster<G::Task> = NativeCluster::new(machine, nthreads, vars::space_config());
+    let report = cluster.run(|comm| worker(comm, gen, cfg));
+    assemble(
+        cfg,
+        machine_name,
+        nthreads,
+        report.makespan_ns,
+        report.results,
+    )
+}
+
+/// Sequential reference traversal of the same task tree; returns
+/// (nodes, wall-clock ns). Used for baselines and conservation checks.
+pub fn seq_run<G: TaskGen>(gen: &G) -> (u64, u64) {
+    let t0 = Instant::now();
+    let mut stack = vec![gen.root()];
+    let mut nodes = 0u64;
+    let mut scratch = Vec::new();
+    while let Some(n) = stack.pop() {
+        nodes += 1;
+        scratch.clear();
+        gen.expand(&n, &mut scratch);
+        stack.extend_from_slice(&scratch);
+    }
+    (nodes, t0.elapsed().as_nanos() as u64)
+}
+
+fn assemble(
+    cfg: &RunConfig,
+    machine: &'static str,
+    threads: usize,
+    makespan_ns: u64,
+    per_thread: Vec<ThreadResult>,
+) -> RunReport {
+    let total_nodes: u64 = per_thread.iter().map(|t| t.nodes).sum();
+    // The in-band reduction must agree with the host-side sum on every
+    // thread — a run-time conservation check in every single run.
+    for (t, r) in per_thread.iter().enumerate() {
+        assert_eq!(
+            r.reduced_total, total_nodes,
+            "thread {t}: in-band reduced total disagrees with host-side sum"
+        );
+    }
+    RunReport {
+        label: cfg.algorithm.label(),
+        machine,
+        threads,
+        chunk_size: cfg.chunk_size,
+        total_nodes,
+        makespan_ns,
+        per_thread,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taskgen::{SyntheticGen, UtsGen};
+    use uts_tree::presets;
+
+    /// Every algorithm must count the tiny tree exactly, on a small
+    /// simulated cluster.
+    #[test]
+    fn all_algorithms_conserve_tiny_tree_sim() {
+        let p = presets::t_tiny();
+        let gen = UtsGen::new(p.spec);
+        for alg in Algorithm::all() {
+            for threads in [1, 2, 5] {
+                let cfg = RunConfig::new(alg, 2);
+                let report = run_sim(MachineModel::smp(), threads, &gen, &cfg);
+                assert_eq!(
+                    report.total_nodes, p.expected.nodes,
+                    "{} with {} threads lost/duplicated nodes",
+                    alg.label(),
+                    threads
+                );
+            }
+        }
+    }
+
+    /// Same on the native backend with a couple of real threads.
+    #[test]
+    fn all_algorithms_conserve_tiny_tree_native() {
+        let p = presets::t_tiny();
+        let gen = UtsGen::new(p.spec);
+        for alg in Algorithm::all() {
+            let cfg = RunConfig::new(alg, 2);
+            let report = run_native(MachineModel::smp(), 3, &gen, &cfg);
+            assert_eq!(
+                report.total_nodes, p.expected.nodes,
+                "{} lost/duplicated nodes natively",
+                alg.label()
+            );
+        }
+    }
+
+    #[test]
+    fn seq_run_matches_preset() {
+        let p = presets::t_tiny();
+        let (nodes, _) = seq_run(&UtsGen::new(p.spec));
+        assert_eq!(nodes, p.expected.nodes);
+    }
+
+    #[test]
+    fn synthetic_balanced_tree_distributes_work() {
+        let gen = SyntheticGen {
+            branch: 3,
+            depth: 7,
+        };
+        let cfg = RunConfig::new(Algorithm::DistMem, 4);
+        let report = run_sim(MachineModel::smp(), 4, &gen, &cfg);
+        assert_eq!(report.total_nodes, gen.size());
+        // On a 3280-node balanced tree, at least one steal must land.
+        assert!(report.total_steals() > 0, "no load balancing happened");
+        // Every thread should have explored something.
+        for (t, r) in report.per_thread.iter().enumerate() {
+            assert!(r.nodes > 0, "thread {t} did no work: {report:?}");
+        }
+    }
+
+    #[test]
+    fn sim_runs_are_deterministic() {
+        let p = presets::t_tiny();
+        let gen = UtsGen::new(p.spec);
+        let cfg = RunConfig::new(Algorithm::DistMem, 2);
+        let a = run_sim(MachineModel::kittyhawk(), 4, &gen, &cfg);
+        let b = run_sim(MachineModel::kittyhawk(), 4, &gen, &cfg);
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.total_steals(), b.total_steals());
+        let na: Vec<u64> = a.per_thread.iter().map(|t| t.nodes).collect();
+        let nb: Vec<u64> = b.per_thread.iter().map(|t| t.nodes).collect();
+        assert_eq!(na, nb);
+    }
+}

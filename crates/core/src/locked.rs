@@ -1,0 +1,310 @@
+//! The lock-based work-stealing algorithm family.
+//!
+//! One parameterised implementation covers three of the paper's labels,
+//! mirroring its refinement chain:
+//!
+//! - `upc-sharedmem` (§3.1) = locked stack + **cancelable barrier** + steal 1
+//! - `upc-term` (§3.3.1)    = locked stack + **streamlined termination** + steal 1
+//! - `upc-term-rapdif` (§3.3.2) = locked stack + streamlined termination +
+//!   **steal half**
+//!
+//! The shared region's counters (`WORK_AVAIL`, `STEAL_BASE`, `RESERVED`) are
+//! the ground truth and are read/updated **under the victim's stack lock**
+//! by owner and thieves alike; chunk payloads are moved with one-sided bulk
+//! transfers *outside* the critical section ("the reserved chunk is
+//! transferred outside of the critical region to minimize the time that the
+//! stack is locked", §3.1), with a fetch-add acknowledgement so the owner
+//! never reclaims a region a thief is still copying.
+
+use pgas::Comm;
+
+use crate::barrier::{BarrierOutcome, CancelableBarrier, TerminationBarrier, BARRIER_BACKOFF_NS};
+use crate::config::RunConfig;
+use crate::probe::ProbeOrder;
+use crate::report::ThreadResult;
+use crate::stack::DfsStack;
+use crate::state::{State, StateClock};
+use crate::taskgen::TaskGen;
+use crate::trace::TraceLog;
+use crate::vars;
+
+/// Termination-detection style (the §3.1 → §3.3.1 refinement).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TerminationStyle {
+    /// Cancelable barrier, reset on every release (§3.1).
+    Cancelable,
+    /// Full-cycle entry condition + in-barrier probing + tree announcement
+    /// (§3.3.1).
+    Streamlined,
+}
+
+/// How many chunks a thief takes (the §3.3.2 refinement).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StealAmount {
+    /// One chunk per steal (§3.1).
+    One,
+    /// Half the available chunks, or one if only one is there (§3.3.2).
+    Half,
+}
+
+/// Run the locked worker on this thread; returns its counters.
+pub fn run<G, C>(
+    comm: &mut C,
+    gen: &G,
+    cfg: &RunConfig,
+    term_style: TerminationStyle,
+    steal_amount: StealAmount,
+) -> ThreadResult
+where
+    G: TaskGen,
+    C: Comm<G::Task>,
+{
+    let me = comm.my_id();
+    let n = comm.n_threads();
+    let k = cfg.chunk_size;
+    let mut stack: DfsStack<G::Task> = DfsStack::new(k);
+    let mut probe = ProbeOrder::flat(me, n, cfg.seed);
+    let mut res = ThreadResult::default();
+    let mut clock = StateClock::new(comm.now());
+    let mut log = TraceLog::new(cfg.trace);
+    let mut scratch: Vec<G::Task> = Vec::new();
+
+    if me == 0 {
+        stack.push(gen.root());
+    }
+
+    'outer: loop {
+        // ------------------------------------------------- Working (Fig. 1)
+        { let now = comm.now(); clock.transition(State::Working, now); log.enter(State::Working, now); }
+        loop {
+            if stack.is_local_empty() {
+                if !reacquire(comm, &mut stack, &mut res) {
+                    break; // truly out of work
+                }
+                continue;
+            }
+            let node = stack.pop().expect("nonempty local region");
+            res.nodes += 1;
+            scratch.clear();
+            gen.expand(&node, &mut scratch);
+            stack.push_all(&scratch);
+            comm.work(1);
+            if stack.should_release(cfg.release_depth) {
+                release(comm, &mut stack, &mut res);
+                log.release(comm.now());
+                if term_style == TerminationStyle::Cancelable {
+                    // §3.1: every release resets the cancelable barrier so
+                    // that waiting threads come back for the fresh chunk.
+                    CancelableBarrier::cancel(comm);
+                }
+            }
+        }
+        // Out of work entirely: publish the tri-state marker.
+        set_out_of_work(comm, me);
+
+        // --------------------------------------- Work Discovery + Stealing
+        { let now = comm.now(); clock.transition(State::Searching, now); log.enter(State::Searching, now); }
+        loop {
+            let mut all_out = true;
+            for v in probe.cycle() {
+                res.probes += 1;
+                // §3.1: "the count of available work on a stack is examined
+                // without locking".
+                let avail = comm.get(v, vars::WORK_AVAIL);
+                if avail > 0 {
+                    { let now = comm.now(); clock.transition(State::Stealing, now); log.enter(State::Stealing, now); }
+                    if steal(comm, &mut stack, v, steal_amount, &mut res, &mut log) {
+                        comm.put(me, vars::WORK_AVAIL, 0);
+                        continue 'outer;
+                    }
+                    { let now = comm.now(); clock.transition(State::Searching, now); log.enter(State::Searching, now); }
+                    all_out = false; // it had work a moment ago
+                } else if avail == 0 {
+                    all_out = false; // working, no surplus (§3.3.1 tri-state)
+                }
+            }
+
+            match term_style {
+                TerminationStyle::Cancelable => {
+                    // §3.1: enter the barrier after any unsuccessful sweep.
+                    { let now = comm.now(); clock.transition(State::Terminating, now); log.enter(State::Terminating, now); }
+                    match CancelableBarrier::wait(comm) {
+                        BarrierOutcome::Terminated => break 'outer,
+                        BarrierOutcome::Canceled => {
+                            { let now = comm.now(); clock.transition(State::Searching, now); log.enter(State::Searching, now); }
+                        }
+                    }
+                }
+                TerminationStyle::Streamlined => {
+                    if !all_out {
+                        // §3.3.1: "If it finds even a single thread still
+                        // working, it continues searching for work and does
+                        // not enter the barrier."
+                        continue;
+                    }
+                    { let now = comm.now(); clock.transition(State::Terminating, now); log.enter(State::Terminating, now); }
+                    if streamlined_wait(comm, &mut stack, &mut probe, steal_amount, &mut res, &mut log) {
+                        break 'outer;
+                    }
+                    // Stole work from inside the barrier: back to work.
+                    comm.put(me, vars::WORK_AVAIL, 0);
+                    continue 'outer;
+                }
+            }
+        }
+    }
+
+    let (state_ns, transitions) = clock.finish(comm.now());
+    res.state_ns = state_ns;
+    res.transitions = transitions;
+    res.comm = comm.stats().clone();
+    res.events = log.into_events();
+    res
+}
+
+/// Publish "no work at all" (§3.3.1's distinct value), under the stack lock
+/// so it cannot race with a thief's reservation of our last chunk.
+fn set_out_of_work<T: pgas::comm::Item, C: Comm<T>>(comm: &mut C, me: usize) {
+    comm.lock(me, vars::STACK_LOCK);
+    let avail = comm.get(me, vars::WORK_AVAIL);
+    debug_assert!(avail <= 0, "going idle with stealable work");
+    comm.put(me, vars::WORK_AVAIL, vars::OUT_OF_WORK);
+    comm.unlock(me, vars::STACK_LOCK);
+}
+
+/// Move the oldest `k` local nodes into our shared region (§3.1 `release()`).
+fn release<T, C, >(comm: &mut C, stack: &mut DfsStack<T>, res: &mut ThreadResult)
+where
+    T: pgas::comm::Item,
+    C: Comm<T>,
+{
+    let me = comm.my_id();
+    let chunk = stack.take_bottom_chunk();
+    comm.lock(me, vars::STACK_LOCK);
+    let avail = comm.get(me, vars::WORK_AVAIL).max(0) as usize;
+    let base = comm.get(me, vars::STEAL_BASE) as usize;
+    comm.area_write(me, (base + avail) * stack.k, &chunk);
+    comm.put(me, vars::WORK_AVAIL, (avail + 1) as i64);
+    // Opportunistic compaction happens in reacquire when the region drains.
+    comm.unlock(me, vars::STACK_LOCK);
+    res.releases += 1;
+}
+
+/// Move the newest shared chunk back to the local region (§3.1
+/// `reacquire()`). Returns false if the shared region is empty.
+fn reacquire<T, C>(comm: &mut C, stack: &mut DfsStack<T>, res: &mut ThreadResult) -> bool
+where
+    T: pgas::comm::Item,
+    C: Comm<T>,
+{
+    let me = comm.my_id();
+    comm.lock(me, vars::STACK_LOCK);
+    let avail = comm.get(me, vars::WORK_AVAIL).max(0) as usize;
+    if avail == 0 {
+        // Reclaim dead area space if every granted chunk has been copied out.
+        let reserved = comm.get(me, vars::RESERVED);
+        let acked = comm.get(me, vars::ACK);
+        if reserved == acked && comm.get(me, vars::STEAL_BASE) > 0 {
+            comm.put(me, vars::STEAL_BASE, 0);
+            comm.area_truncate(me, 0);
+        }
+        comm.unlock(me, vars::STACK_LOCK);
+        return false;
+    }
+    let base = comm.get(me, vars::STEAL_BASE) as usize;
+    let mut buf = Vec::with_capacity(stack.k);
+    comm.area_read(me, (base + avail - 1) * stack.k, stack.k, &mut buf);
+    comm.put(me, vars::WORK_AVAIL, (avail - 1) as i64);
+    comm.unlock(me, vars::STACK_LOCK);
+    stack.push_all(&buf);
+    res.reacquires += 1;
+    true
+}
+
+/// §3.1 `steal()`: lock the victim's stack, re-check availability, reserve,
+/// unlock, then transfer one-sidedly outside the critical section.
+fn steal<T, C>(
+    comm: &mut C,
+    stack: &mut DfsStack<T>,
+    victim: usize,
+    amount: StealAmount,
+    res: &mut ThreadResult,
+    log: &mut TraceLog,
+) -> bool
+where
+    T: pgas::comm::Item,
+    C: Comm<T>,
+{
+    let k = stack.k;
+    comm.lock(victim, vars::STACK_LOCK);
+    let avail = comm.get(victim, vars::WORK_AVAIL);
+    if avail <= 0 {
+        // "a subsequent steal() operation may not succeed if in the interim
+        // the state has changed" (§3.1).
+        comm.unlock(victim, vars::STACK_LOCK);
+        res.steals_failed += 1;
+        log.steal_fail(victim, comm.now());
+        return false;
+    }
+    let take = match amount {
+        StealAmount::One => 1usize,
+        StealAmount::Half => DfsStack::<T>::steal_half_amount(avail as usize),
+    };
+    let base = comm.get(victim, vars::STEAL_BASE) as usize;
+    comm.put(victim, vars::STEAL_BASE, (base + take) as i64);
+    comm.put(victim, vars::WORK_AVAIL, avail - take as i64);
+    let reserved = comm.get(victim, vars::RESERVED);
+    comm.put(victim, vars::RESERVED, reserved + take as i64);
+    comm.unlock(victim, vars::STACK_LOCK);
+
+    // One-sided transfer outside the lock; the victim keeps working.
+    let mut buf = Vec::with_capacity(take * k);
+    comm.area_read(victim, base * k, take * k, &mut buf);
+    comm.add(victim, vars::ACK, take as i64);
+    stack.push_all(&buf);
+    res.steals_ok += 1;
+    res.chunks_stolen += take as u64;
+    log.steal_ok(victim, take as u64, comm.now());
+    true
+}
+
+/// §3.3.1 in-barrier behaviour: spin on our local flag, probing a single
+/// victim per iteration; leave the barrier to steal if one shows work.
+/// Returns `true` on termination, `false` if we stole work and left.
+fn streamlined_wait<T, C>(
+    comm: &mut C,
+    stack: &mut DfsStack<T>,
+    probe: &mut ProbeOrder,
+    amount: StealAmount,
+    res: &mut ThreadResult,
+    log: &mut TraceLog,
+) -> bool
+where
+    T: pgas::comm::Item,
+    C: Comm<T>,
+{
+    if TerminationBarrier::enter(comm) {
+        TerminationBarrier::announce_root(comm);
+    }
+    loop {
+        if TerminationBarrier::term_seen(comm) {
+            TerminationBarrier::propagate(comm);
+            return true;
+        }
+        // "each thread that has entered the barrier only inspects one other
+        // thread to avoid overwhelming the remaining working threads".
+        if let Some(v) = probe.one() {
+            res.probes += 1;
+            if comm.get(v, vars::WORK_AVAIL) > 0 {
+                TerminationBarrier::leave(comm);
+                if steal(comm, stack, v, amount, res, log) {
+                    return false;
+                }
+                if TerminationBarrier::enter(comm) {
+                    TerminationBarrier::announce_root(comm);
+                }
+            }
+        }
+        comm.advance_idle(BARRIER_BACKOFF_NS);
+    }
+}

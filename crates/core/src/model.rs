@@ -1,0 +1,213 @@
+//! The §2 chunk-size tradeoff, formalized.
+//!
+//! The paper argues qualitatively: "The larger this chunk size k, the lower
+//! the overhead to work stealing when amortized over the expected work …
+//! However, the likelihood that a depth first search of one of our trees has
+//! k nodes on the stack at any given time is proportional to 1/k … Thus, the
+//! value of k represents a tradeoff between load imbalance and communication
+//! costs."
+//!
+//! This module turns that argument into a two-parameter performance model.
+//! With `N` nodes on `p` threads at `t` ns/node, and a steal transfer
+//! costing `L + γ·k` ns (latency plus bandwidth):
+//!
+//! - **communication overhead**: a fraction `α` of all nodes must migrate;
+//!   in chunks of `k` that is `αN/k` transfers, i.e. relative overhead
+//!   `(α/k)·(L + γk)/t`;
+//! - **granularity imbalance**: work parcels out in quanta of `k` nodes, so
+//!   end-of-run idling grows linearly in `k`: relative cost `β·k·p/N`.
+//!
+//! ```text
+//! rate(k) = (p/t) / (1 + (α/k)(L + γk)/t + βkp/N)
+//! k*      = sqrt(α·L·N / (t·β·p))
+//! ```
+//!
+//! The model reproduces the paper's observations: an interior sweet spot, a
+//! plateau that *narrows* and an optimum that *shifts* as `p` grows
+//! ("As more processors are used, performance is more sensitive to chunk
+//! size", §4.2.1). `α` and `β` are workload/algorithm properties fitted
+//! from two cheap measurements; see `fit_alpha` / `fit_beta` and the
+//! `model_check` bench binary, which validates the predicted curve against
+//! the measured Figure 4 sweep.
+
+/// Closed-form chunk-size performance model.
+#[derive(Clone, Copy, Debug)]
+pub struct ChunkModel {
+    /// ns of useful work per node (`1/seq_rate`).
+    pub node_ns: f64,
+    /// Fixed cost of one steal transfer (probe + request/response latency +
+    /// transfer startup), ns.
+    pub steal_latency_ns: f64,
+    /// Marginal cost per stolen node (bandwidth term), ns.
+    pub per_node_ns: f64,
+    /// Fraction of all nodes that migrate between threads (workload +
+    /// algorithm property; fitted).
+    pub alpha: f64,
+    /// Granularity-imbalance coefficient (fitted).
+    pub beta: f64,
+}
+
+impl ChunkModel {
+    /// Predicted relative communication overhead at chunk size `k`.
+    pub fn comm_overhead(&self, k: f64) -> f64 {
+        (self.alpha / k) * (self.steal_latency_ns + self.per_node_ns * k) / self.node_ns
+    }
+
+    /// Predicted relative imbalance cost at chunk size `k` for `p` threads
+    /// over `n_nodes` total nodes.
+    pub fn imbalance(&self, k: f64, p: f64, n_nodes: f64) -> f64 {
+        self.beta * k * p / n_nodes
+    }
+
+    /// Predicted exploration rate (nodes/ns) at chunk size `k`.
+    pub fn rate(&self, k: f64, p: f64, n_nodes: f64) -> f64 {
+        let denom = 1.0 + self.comm_overhead(k) + self.imbalance(k, p, n_nodes);
+        (p / self.node_ns) / denom
+    }
+
+    /// The closed-form optimal chunk size `k* = sqrt(αLN / (tβp))`.
+    pub fn optimal_k(&self, p: f64, n_nodes: f64) -> f64 {
+        (self.alpha * self.steal_latency_ns * n_nodes / (self.node_ns * self.beta * p)).sqrt()
+    }
+
+    /// Predicted number of steals at chunk size `k`.
+    pub fn steals(&self, k: f64, n_nodes: f64) -> f64 {
+        self.alpha * n_nodes / k
+    }
+}
+
+/// Fit `α` from measured (chunk, steals) points: each transfer moves `k`
+/// nodes, so `α ≈ mean(steals·k) / N`. Uses small-`k` points (where the 1/k
+/// law holds best — at very large `k` transfers are limited by availability).
+pub fn fit_alpha(points: &[(usize, u64)], n_nodes: u64) -> f64 {
+    let take = points.len().clamp(1, 4);
+    let mut sorted: Vec<&(usize, u64)> = points.iter().collect();
+    sorted.sort_by_key(|(k, _)| *k);
+    let s: f64 = sorted
+        .iter()
+        .take(take)
+        .map(|&&(k, steals)| steals as f64 * k as f64)
+        .sum();
+    s / (take as f64 * n_nodes as f64)
+}
+
+/// Fit `β` from one measured rate at a large chunk size `k_big`, where the
+/// imbalance term dominates: solve `rate = (p/t)/(1 + comm + βkp/N)` for β.
+pub fn fit_beta(
+    model_without_beta: &ChunkModel,
+    k_big: f64,
+    measured_rate_nodes_per_ns: f64,
+    p: f64,
+    n_nodes: f64,
+) -> f64 {
+    let ideal = p / model_without_beta.node_ns;
+    let denom = ideal / measured_rate_nodes_per_ns;
+    let residual = denom - 1.0 - model_without_beta.comm_overhead(k_big);
+    (residual * n_nodes / (k_big * p)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ChunkModel {
+        ChunkModel {
+            node_ns: 418.0,
+            steal_latency_ns: 25_000.0,
+            per_node_ns: 40.0,
+            alpha: 0.05,
+            beta: 2.0,
+        }
+    }
+
+    #[test]
+    fn interior_optimum_exists() {
+        let m = model();
+        let (p, n) = (256.0, 1.3e6);
+        let k_star = m.optimal_k(p, n);
+        assert!(k_star > 1.0 && k_star < 128.0, "k* = {k_star}");
+        // The predicted rate at k* beats both extremes.
+        let r_star = m.rate(k_star, p, n);
+        assert!(r_star > m.rate(1.0, p, n));
+        assert!(r_star > m.rate(256.0, p, n));
+    }
+
+    #[test]
+    fn optimum_shifts_down_with_more_threads() {
+        let m = model();
+        let n = 1.3e6;
+        assert!(m.optimal_k(1024.0, n) < m.optimal_k(64.0, n));
+    }
+
+    #[test]
+    fn optimum_grows_with_latency_and_problem_size() {
+        let m = model();
+        let mut slow = m;
+        slow.steal_latency_ns *= 4.0;
+        assert!(slow.optimal_k(256.0, 1e6) > m.optimal_k(256.0, 1e6));
+        assert!(m.optimal_k(256.0, 1e8) > m.optimal_k(256.0, 1e6));
+    }
+
+    #[test]
+    fn overhead_monotone_decreasing_imbalance_increasing() {
+        let m = model();
+        let mut last_over = f64::INFINITY;
+        let mut last_imb = 0.0;
+        for k in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+            let over = m.comm_overhead(k);
+            let imb = m.imbalance(k, 256.0, 1e6);
+            assert!(over < last_over, "comm overhead must fall with k");
+            assert!(imb > last_imb, "imbalance must grow with k");
+            last_over = over;
+            last_imb = imb;
+        }
+    }
+
+    #[test]
+    fn sensitivity_grows_with_threads() {
+        // §4.2.1: "As more processors are used, performance is more
+        // sensitive to chunk size." Measure the ratio of the peak rate to
+        // the rate at 8× the optimal chunk: it must degrade more at high p.
+        let m = model();
+        let n = 1.3e6;
+        let sensitivity = |p: f64| {
+            let k_star = m.optimal_k(p, n);
+            m.rate(k_star, p, n) / m.rate(8.0 * k_star, p, n)
+        };
+        assert!(sensitivity(1024.0) > sensitivity(64.0));
+    }
+
+    #[test]
+    fn fit_alpha_recovers_inverse_k_law() {
+        // Synthesize steals following steals = alpha*N/k exactly.
+        let n = 1_000_000u64;
+        let alpha = 0.08;
+        let points: Vec<(usize, u64)> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&k| (k, (alpha * n as f64 / k as f64) as u64))
+            .collect();
+        let fitted = fit_alpha(&points, n);
+        assert!((fitted - alpha).abs() < 0.005, "fitted {fitted}");
+    }
+
+    #[test]
+    fn fit_beta_round_trip() {
+        let mut m = model();
+        let (p, n, k_big) = (256.0, 1.3e6, 64.0);
+        let truth = m.rate(k_big, p, n);
+        let beta0 = m.beta;
+        m.beta = 0.0;
+        let fitted = fit_beta(&m, k_big, truth, p, n);
+        assert!(
+            (fitted - beta0).abs() / beta0 < 1e-9,
+            "fitted {fitted} vs {beta0}"
+        );
+    }
+
+    #[test]
+    fn predicted_steals_follow_inverse_k() {
+        let m = model();
+        let n = 1e6;
+        assert!((m.steals(2.0, n) - m.steals(4.0, n) * 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,193 @@
+//! `mpi-ws` (§3.2): the message-passing work-stealing baseline of
+//! Dinan et al. (PMEO-PDS'07), reproduced over the [`mpisim`] layer.
+//!
+//! Stealing is a two-sided message exchange: an idle thread sends a steal
+//! request; working threads poll for requests "at an interval set by a
+//! user-supplied parameter" and answer with a chunk of work or a denial.
+//! Global quiescence is detected with the token ring ([`mpisim::TokenRing`]).
+//!
+//! Contrast with `upc-distmem`: the victim must assemble and *send* the
+//! chunk (two-sided), whereas UPC lets the thief pull it one-sidedly while
+//! the victim keeps exploring. The compensating advantage the paper notes —
+//! "a clear advantage in not using any remote locking operations" — applies
+//! here too: there are no locks anywhere in this implementation.
+
+use pgas::comm::Item;
+use pgas::Comm;
+
+use mpisim::TokenRing;
+
+use crate::config::RunConfig;
+use crate::probe::ProbeOrder;
+use crate::report::ThreadResult;
+use crate::stack::DfsStack;
+use crate::state::{State, StateClock};
+use crate::taskgen::TaskGen;
+use crate::trace::TraceLog;
+
+/// Steal request (meta unused).
+pub const TAG_REQ: i64 = 1;
+/// Work grant; payload carries the chunk.
+pub const TAG_WORK: i64 = 2;
+/// Denial.
+pub const TAG_NOWORK: i64 = 3;
+
+/// Backoff while awaiting a steal response.
+const RESPONSE_BACKOFF_NS: u64 = 2_000;
+/// Backoff between idle-loop iterations.
+const IDLE_BACKOFF_NS: u64 = 5_000;
+
+/// Run the message-passing worker on this thread.
+pub fn run<G, C>(comm: &mut C, gen: &G, cfg: &RunConfig) -> ThreadResult
+where
+    G: TaskGen,
+    C: Comm<G::Task>,
+{
+    let me = comm.my_id();
+    let n = comm.n_threads();
+    let mut stack: DfsStack<G::Task> = DfsStack::new(cfg.chunk_size);
+    let mut probe = ProbeOrder::flat(me, n, cfg.seed);
+    let mut ring = TokenRing::new(me, n);
+    let mut res = ThreadResult::default();
+    let mut clock = StateClock::new(comm.now());
+    let mut log = TraceLog::new(cfg.trace);
+    let mut scratch: Vec<G::Task> = Vec::new();
+    // Cumulative WORK-message counts for the termination token.
+    let mut work_sent: i64 = 0;
+    let mut work_recv: i64 = 0;
+
+    if me == 0 {
+        stack.push(gen.root());
+    }
+
+    'outer: loop {
+        // ------------------------------------------------------- Working
+        { let now = comm.now(); clock.transition(State::Working, now); log.enter(State::Working, now); }
+        let mut since_poll: u64 = 0;
+        while let Some(node) = stack.pop() {
+            res.nodes += 1;
+            scratch.clear();
+            gen.expand(&node, &mut scratch);
+            stack.push_all(&scratch);
+            comm.work(1);
+            since_poll += 1;
+            if since_poll >= cfg.poll_interval {
+                since_poll = 0;
+                service_requests(comm, &mut stack, cfg, &mut work_sent, &mut res, &mut log);
+            }
+        }
+
+        // -------------------------------------------- Searching / Stealing
+        // One victim per iteration, alternating with termination-token
+        // handling (Dinan et al. interleave the same way): at large thread
+        // counts a full probe sweep between token steps would park the token
+        // for thousands of messages.
+        { let now = comm.now(); clock.transition(State::Searching, now); log.enter(State::Searching, now); }
+        let mut victims = probe.cycle();
+        let mut next_victim = 0usize;
+        loop {
+            // Deny whatever arrived while we were idle.
+            service_requests(comm, &mut stack, cfg, &mut work_sent, &mut res, &mut log);
+
+            if next_victim >= victims.len() {
+                victims = probe.cycle();
+                next_victim = 0;
+            }
+            if victims.is_empty() {
+                // Solo rank: nothing to steal from; go straight to the ring.
+                { let now = comm.now(); clock.transition(State::Terminating, now); log.enter(State::Terminating, now); }
+                if ring.step(comm, work_sent, work_recv) {
+                    break 'outer;
+                }
+                { let now = comm.now(); clock.transition(State::Searching, now); log.enter(State::Searching, now); }
+                continue;
+            }
+            let v = victims[next_victim];
+            next_victim += 1;
+            res.probes += 1;
+            { let now = comm.now(); clock.transition(State::Stealing, now); log.enter(State::Stealing, now); }
+            comm.send(v, TAG_REQ, [0; 4], &[]);
+            // Await WORK or NOWORK, staying responsive to requests and
+            // to a termination announcement racing with our request: the
+            // ring can complete while our (uncounted) request is in
+            // flight, and the victim may already have exited — without
+            // the TERM check we would wait forever. A WORK grant cannot
+            // race this way because grants are counted by the token.
+            let mut term_raced = false;
+            let granted = loop {
+                if let Some(m) = comm.try_recv(Some(TAG_WORK)) {
+                    work_recv += 1;
+                    stack.push_all(&m.payload);
+                    res.steals_ok += 1;
+                    res.chunks_stolen += (m.payload.len() / stack.k.max(1)) as u64;
+                    log.steal_ok(v, 1, comm.now());
+                    break true;
+                }
+                if comm.try_recv(Some(TAG_NOWORK)).is_some() {
+                    res.steals_failed += 1;
+                    log.steal_fail(v, comm.now());
+                    break false;
+                }
+                if comm.has_msg(Some(mpisim::tags::TERM)) {
+                    term_raced = true;
+                    break false;
+                }
+                service_requests(comm, &mut stack, cfg, &mut work_sent, &mut res, &mut log);
+                comm.advance_idle(RESPONSE_BACKOFF_NS);
+            };
+            { let now = comm.now(); clock.transition(State::Searching, now); log.enter(State::Searching, now); }
+            if granted {
+                continue 'outer;
+            }
+
+            // ---------------------------------------------- Terminating
+            { let now = comm.now(); clock.transition(State::Terminating, now); log.enter(State::Terminating, now); }
+            if term_raced || ring.step(comm, work_sent, work_recv) {
+                break 'outer;
+            }
+            comm.advance_idle(IDLE_BACKOFF_NS);
+            { let now = comm.now(); clock.transition(State::Searching, now); log.enter(State::Searching, now); }
+        }
+    }
+
+    // Late requests may still sit in the mailbox; they are unanswerable and
+    // harmless (their senders terminated through the same announcement).
+    mpisim::drain_mailbox(comm);
+
+    let (state_ns, transitions) = clock.finish(comm.now());
+    res.state_ns = state_ns;
+    res.transitions = transitions;
+    res.comm = comm.stats().clone();
+    res.events = log.into_events();
+    res
+}
+
+/// Answer every queued steal request: a chunk of the `k` oldest local nodes
+/// if we hold a comfortable surplus, a denial otherwise.
+fn service_requests<T, C>(
+    comm: &mut C,
+    stack: &mut DfsStack<T>,
+    cfg: &RunConfig,
+    work_sent: &mut i64,
+    res: &mut ThreadResult,
+    log: &mut TraceLog,
+) -> bool
+where
+    T: Item,
+    C: Comm<T>,
+{
+    let mut serviced = false;
+    while let Some(req) = comm.try_recv(Some(TAG_REQ)) {
+        serviced = true;
+        if stack.local_len() >= cfg.release_depth.max(2 * stack.k) {
+            let chunk = stack.take_bottom_chunk();
+            comm.send(req.src, TAG_WORK, [0; 4], &chunk);
+            *work_sent += 1;
+            res.requests_serviced += 1;
+            log.release(comm.now());
+        } else {
+            comm.send(req.src, TAG_NOWORK, [0; 4], &[]);
+        }
+    }
+    serviced
+}

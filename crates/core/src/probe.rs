@@ -1,0 +1,179 @@
+//! Pseudo-random victim probe order (§3.1 "Work Discovery": "a pseudo-random
+//! probe order is used to examine other threads' stacks"), plus the
+//! hierarchical variant from §6.2's future work: probe threads on the same
+//! compute node before going off-node.
+
+use pgas::MachineModel;
+
+/// Deterministic xorshift64* generator — cheap, seedable per thread, and
+/// independent of any external crate so sim runs are bit-reproducible.
+#[derive(Clone, Debug)]
+pub struct Xorshift {
+    state: u64,
+}
+
+impl Xorshift {
+    /// Seed the generator; a zero seed is remapped to a fixed odd constant.
+    pub fn new(seed: u64) -> Xorshift {
+        Xorshift {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Produces victim probe orders for one thread.
+#[derive(Clone, Debug)]
+pub struct ProbeOrder {
+    me: usize,
+    victims: Vec<usize>,
+    rng: Xorshift,
+    hierarchical: bool,
+    threads_per_node: usize,
+}
+
+impl ProbeOrder {
+    /// Flat pseudo-random order over all threads except `me`.
+    pub fn flat(me: usize, n: usize, seed: u64) -> ProbeOrder {
+        ProbeOrder {
+            me,
+            victims: (0..n).filter(|&t| t != me).collect(),
+            rng: Xorshift::new(seed ^ (me as u64).wrapping_mul(0xA24B_AED4_963E_E407)),
+            hierarchical: false,
+            threads_per_node: usize::MAX,
+        }
+    }
+
+    /// Hierarchical order: a random permutation of same-node victims first,
+    /// then a random permutation of off-node victims (§6.2:
+    /// "first try to steal work within a cluster node before probing
+    /// off-node ... using bupc_thread_distance()").
+    pub fn hierarchical(me: usize, n: usize, seed: u64, machine: &MachineModel) -> ProbeOrder {
+        let mut p = ProbeOrder::flat(me, n, seed);
+        p.hierarchical = true;
+        p.threads_per_node = machine.threads_per_node;
+        p
+    }
+
+    /// A fresh probe cycle: every other thread exactly once.
+    pub fn cycle(&mut self) -> Vec<usize> {
+        let mut order = self.victims.clone();
+        self.rng.shuffle(&mut order);
+        if self.hierarchical && self.threads_per_node != usize::MAX {
+            let my_node = self.me / self.threads_per_node;
+            // Stable partition: same-node victims keep their shuffled
+            // relative order but come first.
+            order.sort_by_key(|&v| v / self.threads_per_node != my_node);
+        }
+        order
+    }
+
+    /// A single random victim (used while waiting in the barrier, where the
+    /// paper limits each thread to "only inspect one other thread").
+    pub fn one(&mut self) -> Option<usize> {
+        if self.victims.is_empty() {
+            None
+        } else {
+            Some(self.victims[self.rng.below(self.victims.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_is_a_permutation_of_victims() {
+        let mut p = ProbeOrder::flat(3, 8, 42);
+        let mut c = p.cycle();
+        c.sort_unstable();
+        assert_eq!(c, vec![0, 1, 2, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn cycles_vary() {
+        let mut p = ProbeOrder::flat(0, 16, 7);
+        let a = p.cycle();
+        let b = p.cycle();
+        assert_ne!(a, b, "consecutive cycles should differ (whp)");
+    }
+
+    #[test]
+    fn different_threads_get_different_orders() {
+        let a = ProbeOrder::flat(0, 16, 7).cycle();
+        let b = ProbeOrder::flat(1, 16, 7).cycle();
+        let bx: Vec<usize> = b.iter().copied().filter(|&v| v != 0).collect();
+        let ax: Vec<usize> = a.iter().copied().filter(|&v| v != 1).collect();
+        assert_ne!(ax, bx, "probe orders must be decorrelated across threads");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = ProbeOrder::flat(2, 8, 99).cycle();
+        let b = ProbeOrder::flat(2, 8, 99).cycle();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hierarchical_probes_same_node_first() {
+        let m = MachineModel::kittyhawk(); // 4 threads/node
+        let mut p = ProbeOrder::hierarchical(5, 16, 3, &m);
+        let c = p.cycle();
+        // Thread 5 is on node 1 (threads 4-7); the first victims must be the
+        // other three threads of node 1 in some order.
+        let first: Vec<usize> = c[..3].to_vec();
+        for v in first {
+            assert_eq!(v / 4, 1, "same-node victims must come first: {c:?}");
+        }
+        assert_eq!(c.len(), 15);
+    }
+
+    #[test]
+    fn one_never_returns_me() {
+        let mut p = ProbeOrder::flat(1, 4, 5);
+        for _ in 0..100 {
+            assert_ne!(p.one(), Some(1));
+        }
+    }
+
+    #[test]
+    fn solo_thread_has_no_victims() {
+        let mut p = ProbeOrder::flat(0, 1, 5);
+        assert!(p.cycle().is_empty());
+        assert_eq!(p.one(), None);
+    }
+
+    #[test]
+    fn xorshift_below_in_range() {
+        let mut r = Xorshift::new(0);
+        for bound in 1..50 {
+            for _ in 0..20 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! `push-random`: a randomized work-*pushing* baseline (extension).
+//!
+//! The paper's related work cites Chakrabarti & Yelick's randomized load
+//! balancing by pushing for tree-structured computation (\[16\]). The mirror
+//! image of stealing: *loaded* threads take the initiative, shipping surplus
+//! chunks to uniformly random targets, while idle threads simply wait for
+//! work to land in their mailbox. This is the classic contrast case for the
+//! "work-first principle" — the push overhead is paid by the threads doing
+//! useful work, which is exactly what work stealing avoids — so it makes a
+//! good ablation baseline against the five paper algorithms.
+
+use pgas::comm::Item;
+use pgas::Comm;
+
+use mpisim::TokenRing;
+
+use crate::config::RunConfig;
+use crate::probe::Xorshift;
+use crate::report::ThreadResult;
+use crate::stack::DfsStack;
+use crate::state::{State, StateClock};
+use crate::taskgen::TaskGen;
+use crate::trace::TraceLog;
+
+/// Pushed chunk of work.
+pub const TAG_PUSH: i64 = 10;
+
+/// Idle backoff.
+const IDLE_BACKOFF_NS: u64 = 2_000;
+
+/// Run the work-pushing worker on this thread.
+pub fn run<G, C>(comm: &mut C, gen: &G, cfg: &RunConfig) -> ThreadResult
+where
+    G: TaskGen,
+    C: Comm<G::Task>,
+{
+    let me = comm.my_id();
+    let n = comm.n_threads();
+    let mut stack: DfsStack<G::Task> = DfsStack::new(cfg.chunk_size);
+    let mut rng = Xorshift::new(cfg.seed ^ (me as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    let mut ring = TokenRing::new(me, n);
+    let mut res = ThreadResult::default();
+    let mut clock = StateClock::new(comm.now());
+    let mut log = TraceLog::new(cfg.trace);
+    let mut scratch: Vec<G::Task> = Vec::new();
+    let mut pushes_sent: i64 = 0;
+    let mut pushes_recv: i64 = 0;
+
+    if me == 0 {
+        stack.push(gen.root());
+    }
+
+    'outer: loop {
+        // ------------------------------------------------------- Working
+        { let now = comm.now(); clock.transition(State::Working, now); log.enter(State::Working, now); }
+        let mut since_poll = 0u64;
+        while let Some(node) = stack.pop() {
+            res.nodes += 1;
+            scratch.clear();
+            gen.expand(&node, &mut scratch);
+            stack.push_all(&scratch);
+            comm.work(1);
+            since_poll += 1;
+            if since_poll >= cfg.poll_interval {
+                since_poll = 0;
+                pushes_recv += absorb(comm, &mut stack, &mut res, &mut log);
+            }
+            // Surplus? Push the oldest chunk at a random peer. The sender
+            // pays the cost — the defining anti-"work-first" property.
+            if n > 1 && stack.should_release(cfg.release_depth) {
+                let mut target = rng.below(n - 1);
+                if target >= me {
+                    target += 1;
+                }
+                let chunk = stack.take_bottom_chunk();
+                comm.send(target, TAG_PUSH, [0; 4], &chunk);
+                pushes_sent += 1;
+                res.releases += 1;
+                log.release(comm.now());
+            }
+        }
+
+        // ------------------------------------------------- Idle / Terminating
+        { let now = comm.now(); clock.transition(State::Terminating, now); log.enter(State::Terminating, now); }
+        loop {
+            let got = absorb(comm, &mut stack, &mut res, &mut log);
+            if got > 0 {
+                pushes_recv += got;
+                continue 'outer;
+            }
+            if ring.step(comm, pushes_sent, pushes_recv) {
+                break 'outer;
+            }
+            comm.advance_idle(IDLE_BACKOFF_NS);
+        }
+    }
+
+    mpisim::drain_mailbox(comm);
+    let (state_ns, transitions) = clock.finish(comm.now());
+    res.state_ns = state_ns;
+    res.transitions = transitions;
+    res.comm = comm.stats().clone();
+    res.events = log.into_events();
+    res
+}
+
+/// Pull every pushed chunk out of the mailbox onto the stack; returns how
+/// many chunks arrived.
+fn absorb<T, C>(
+    comm: &mut C,
+    stack: &mut DfsStack<T>,
+    res: &mut ThreadResult,
+    log: &mut TraceLog,
+) -> i64
+where
+    T: Item,
+    C: Comm<T>,
+{
+    let mut got = 0i64;
+    while let Some(m) = comm.try_recv(Some(TAG_PUSH)) {
+        log.steal_ok(m.src, 1, comm.now());
+        stack.push_all(&m.payload);
+        got += 1;
+        res.chunks_stolen += 1; // "received" chunks, for uniform reporting
+    }
+    got
+}

@@ -1,0 +1,99 @@
+//! The Figure-1 state machine and per-state time accounting.
+//!
+//! §6.2 of the paper decomposes runtime into time *in the working state*
+//! (93% at 1024 threads) versus time searching, stealing, and detecting
+//! termination. [`StateClock`] performs exactly that accounting, using
+//! whatever notion of time the backend provides (virtual or wall-clock).
+
+/// The four top-level states of a worker (paper Figure 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum State {
+    /// Exploring nodes from the local stack (including release/reacquire).
+    Working = 0,
+    /// Probing other threads for available work ("Work Discovery").
+    Searching = 1,
+    /// Executing a steal (reserve/request + transfer).
+    Stealing = 2,
+    /// In the termination-detection protocol.
+    Terminating = 3,
+}
+
+/// Number of states.
+pub const N_STATES: usize = 4;
+
+/// Tracks the current state and accumulates nanoseconds spent in each.
+#[derive(Clone, Debug)]
+pub struct StateClock {
+    current: State,
+    since: u64,
+    acc: [u64; N_STATES],
+    transitions: u64,
+}
+
+impl StateClock {
+    /// Start in [`State::Working`] at time `now`.
+    pub fn new(now: u64) -> StateClock {
+        StateClock {
+            current: State::Working,
+            since: now,
+            acc: [0; N_STATES],
+            transitions: 0,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> State {
+        self.current
+    }
+
+    /// Switch to `next` at time `now`, accumulating the elapsed interval.
+    pub fn transition(&mut self, next: State, now: u64) {
+        debug_assert!(now >= self.since, "time went backwards");
+        self.acc[self.current as usize] += now.saturating_sub(self.since);
+        if next != self.current {
+            self.transitions += 1;
+        }
+        self.current = next;
+        self.since = now;
+    }
+
+    /// Close the clock at time `now` and return (per-state ns, transitions).
+    pub fn finish(mut self, now: u64) -> ([u64; N_STATES], u64) {
+        self.acc[self.current as usize] += now.saturating_sub(self.since);
+        (self.acc, self.transitions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_state() {
+        let mut c = StateClock::new(100);
+        c.transition(State::Searching, 150); // 50 ns working
+        c.transition(State::Stealing, 170); // 20 ns searching
+        c.transition(State::Working, 200); // 30 ns stealing
+        let (acc, transitions) = c.finish(260); // 60 ns working
+        assert_eq!(acc[State::Working as usize], 110);
+        assert_eq!(acc[State::Searching as usize], 20);
+        assert_eq!(acc[State::Stealing as usize], 30);
+        assert_eq!(acc[State::Terminating as usize], 0);
+        assert_eq!(transitions, 3);
+    }
+
+    #[test]
+    fn self_transition_is_not_counted() {
+        let mut c = StateClock::new(0);
+        c.transition(State::Working, 10);
+        let (acc, transitions) = c.finish(10);
+        assert_eq!(acc[State::Working as usize], 10);
+        assert_eq!(transitions, 0);
+    }
+
+    #[test]
+    fn starts_working() {
+        let c = StateClock::new(5);
+        assert_eq!(c.state(), State::Working);
+    }
+}

@@ -1,0 +1,125 @@
+//! The task-generation abstraction: what the load balancer balances.
+//!
+//! The paper's benchmark is UTS, but §3 notes the approach "could be easily
+//! augmented to use more complex search methods such as branch-and-bound and
+//! backtracking". [`TaskGen`] is that seam: any implicitly-defined tree of
+//! tasks can be traversed and balanced by the algorithms in this crate.
+
+use pgas::comm::Item;
+use uts_tree::{Node, TreeSpec};
+
+/// An implicit tree of tasks. Implementations must be deterministic: the
+/// children of a task are a pure function of the task.
+pub trait TaskGen: Sync {
+    /// The task descriptor moved between workers.
+    type Task: Item;
+
+    /// The root task.
+    fn root(&self) -> Self::Task;
+
+    /// Append `task`'s children onto `out`; return how many were produced.
+    fn expand(&self, task: &Self::Task, out: &mut Vec<Self::Task>) -> u32;
+}
+
+/// UTS: the Unbalanced Tree Search workload (the paper's benchmark).
+#[derive(Clone, Copy, Debug)]
+pub struct UtsGen {
+    spec: TreeSpec,
+}
+
+impl UtsGen {
+    /// Wrap a UTS tree specification.
+    pub fn new(spec: TreeSpec) -> UtsGen {
+        UtsGen { spec }
+    }
+
+    /// The underlying tree specification.
+    pub fn spec(&self) -> &TreeSpec {
+        &self.spec
+    }
+}
+
+impl TaskGen for UtsGen {
+    type Task = Node;
+
+    fn root(&self) -> Node {
+        self.spec.root()
+    }
+
+    fn expand(&self, task: &Node, out: &mut Vec<Node>) -> u32 {
+        self.spec.expand_into(task, out)
+    }
+}
+
+/// A cheap synthetic tree for unit tests: a perfect `branch`-ary tree of the
+/// given `depth`, so its size is known in closed form without hashing.
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticGen {
+    /// Branching factor.
+    pub branch: u32,
+    /// Depth (root at depth 0; nodes at `depth` are leaves).
+    pub depth: u32,
+}
+
+impl SyntheticGen {
+    /// Total node count: (b^(d+1) - 1) / (b - 1) for b > 1.
+    pub fn size(&self) -> u64 {
+        if self.branch <= 1 {
+            return u64::from(self.depth) + 1;
+        }
+        let b = u64::from(self.branch);
+        (b.pow(self.depth + 1) - 1) / (b - 1)
+    }
+}
+
+/// Task for [`SyntheticGen`]: just the node's depth.
+impl TaskGen for SyntheticGen {
+    type Task = u32;
+
+    fn root(&self) -> u32 {
+        0
+    }
+
+    fn expand(&self, task: &u32, out: &mut Vec<u32>) -> u32 {
+        if *task >= self.depth {
+            0
+        } else {
+            for _ in 0..self.branch {
+                out.push(task + 1);
+            }
+            self.branch
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uts_tree::presets;
+
+    #[test]
+    fn uts_gen_matches_spec() {
+        let p = presets::t_tiny();
+        let gen = UtsGen::new(p.spec);
+        let mut out = Vec::new();
+        let n = gen.expand(&gen.root(), &mut out);
+        assert_eq!(n, 16); // t_tiny root branching factor
+        assert_eq!(out.len(), 16);
+    }
+
+    #[test]
+    fn synthetic_size_formula() {
+        assert_eq!(SyntheticGen { branch: 2, depth: 3 }.size(), 15);
+        assert_eq!(SyntheticGen { branch: 3, depth: 2 }.size(), 13);
+        assert_eq!(SyntheticGen { branch: 1, depth: 5 }.size(), 6);
+    }
+
+    #[test]
+    fn synthetic_expand_respects_depth() {
+        let g = SyntheticGen { branch: 2, depth: 1 };
+        let mut out = Vec::new();
+        assert_eq!(g.expand(&0, &mut out), 2);
+        out.clear();
+        assert_eq!(g.expand(&1, &mut out), 0);
+    }
+}

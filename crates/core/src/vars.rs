@@ -1,0 +1,115 @@
+//! Layout of each thread's partition of the global address space.
+//!
+//! In the UPC sources these are shared variables declared with affinity to
+//! each thread; here they are indices into the per-thread scalar cells and
+//! locks of the [`pgas`] substrate.
+
+/// `work_avail` (§3.3.1): number of stealable chunks in this thread's shared
+/// region, or [`OUT_OF_WORK`] when the thread has no work at all. The
+/// tri-state reading ("working threads with no surplus work" = 0 vs
+/// "threads with no work at all" = -1) is what the streamlined termination
+/// detector relies on.
+pub const WORK_AVAIL: usize = 0;
+/// Steal-request cell (§3.3.3): a thief CASes its id here; [`NO_REQUEST`]
+/// when free. Affinity: the victim, so the victim's poll is a local read.
+pub const REQUEST: usize = 1;
+/// Response cell (§3.3.3): the victim writes the granted chunk count here.
+/// Affinity: the *thief*, so the thief's wait-spin is a local read.
+/// [`RESP_PENDING`] while waiting.
+pub const RESP_AMT: usize = 2;
+/// Response cell: offset (in items) of the granted region in the victim's
+/// area. Affinity: the thief. Must be written *before* `RESP_AMT`.
+pub const RESP_OFFSET: usize = 3;
+/// Per-thread termination flag, set by the tree-based announcement (§3.3.1)
+/// or by the cancelable-barrier owner (§3.1). Spinning on one's own flag is
+/// a local read.
+pub const TERM: usize = 4;
+/// Barrier occupancy count. Affinity: thread 0.
+pub const BARRIER_COUNT: usize = 5;
+/// Cancelable-barrier epoch (§3.1): bumped by every releasing thread to
+/// kick waiters out of the barrier. Affinity: thread 0.
+pub const CANCEL_EPOCH: usize = 6;
+/// Index (in items) of the first live chunk of the shared region (steals
+/// are served oldest-first from here). Owner-maintained for the lock-less
+/// variant; lock-protected for the locked variants.
+pub const STEAL_BASE: usize = 7;
+/// Cumulative chunks fully copied out by thieves (each thief fetch-adds
+/// after its one-sided get completes); the owner may only reclaim area
+/// space when this equals its own cumulative grant count.
+pub const ACK: usize = 8;
+/// Cumulative chunks granted/reserved (locked variants keep it shared so
+/// thieves can reserve under lock; the lock-less owner keeps it private).
+pub const RESERVED: usize = 9;
+
+/// Base of the block of cells reserved for the end-of-run collective
+/// reduction (the `upc_all_reduce` analog that combines per-thread node
+/// counts, as in the original UTS sources).
+pub const COLL_BASE: usize = 10;
+
+/// Number of scalar cells the algorithms need per thread.
+pub const N_SCALARS: usize = COLL_BASE + pgas::collectives::COLLECTIVE_CELLS;
+
+/// `work_avail` value meaning "no work at all" (distinct from 0 = working
+/// with no surplus).
+pub const OUT_OF_WORK: i64 = -1;
+/// `REQUEST` value meaning "no thief waiting".
+pub const NO_REQUEST: i64 = -1;
+/// `RESP_AMT` value meaning "response not yet written".
+pub const RESP_PENDING: i64 = -1;
+
+/// Lock guarding a thread's shared stack region (locked variants).
+pub const STACK_LOCK: usize = 0;
+/// Lock guarding the barrier cells on thread 0 (§3.1 cancelable barrier).
+pub const BARRIER_LOCK: usize = 1;
+
+/// Number of locks per thread.
+pub const N_LOCKS: usize = 2;
+
+/// The [`pgas::SpaceConfig`] every run uses.
+pub fn space_config() -> pgas::SpaceConfig {
+    pgas::SpaceConfig {
+        scalars: N_SCALARS,
+        locks: N_LOCKS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // deliberate layout checks
+    fn indices_are_distinct_and_in_range() {
+        let idx = [
+            WORK_AVAIL,
+            REQUEST,
+            RESP_AMT,
+            RESP_OFFSET,
+            TERM,
+            BARRIER_COUNT,
+            CANCEL_EPOCH,
+            STEAL_BASE,
+            ACK,
+            RESERVED,
+        ];
+        for (i, a) in idx.iter().enumerate() {
+            assert!(*a < N_SCALARS);
+            for b in idx.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+        assert!(STACK_LOCK != BARRIER_LOCK);
+        assert!(STACK_LOCK < N_LOCKS && BARRIER_LOCK < N_LOCKS);
+        // The collective block must not overlap the protocol cells.
+        assert!(idx.iter().all(|&i| i < COLL_BASE));
+        assert_eq!(COLL_BASE + pgas::collectives::COLLECTIVE_CELLS, N_SCALARS);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // deliberate layout checks
+    fn sentinels_are_negative() {
+        assert!(OUT_OF_WORK < 0);
+        assert!(NO_REQUEST < 0);
+        assert!(RESP_PENDING < 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! The [`Comm`] trait: the UPC-flavoured operation set shared by both
+//! backends.
+//!
+//! Every UPC thread owns a *partition* of the global space holding:
+//!
+//! - `i64` **scalar cells** (UPC shared scalars with affinity to the thread),
+//! - **locks** (`upc_lock_t` allocated with affinity to the thread),
+//! - an **item area**: a growable array of `T` supporting bulk one-sided
+//!   transfers (`upc_memget`/`upc_memput`) — this is where the shared region
+//!   of each DFS stack lives,
+//! - a **mailbox** of typed messages (for the MPI-style baseline).
+//!
+//! Handles are *per-thread* and methods take `&mut self`: a thread issues its
+//! own operations sequentially, exactly like a UPC program. Remote progress
+//! happens through the backend (real parallelism in `native`, virtual-time
+//! scheduling in `sim`).
+
+use crate::machine::MachineModel;
+use crate::msg::Msg;
+use crate::stats::CommStats;
+
+/// Items that can live in the global space and in message payloads.
+///
+/// Blanket-implemented: 24-byte UTS nodes, integers, and any other small
+/// `Copy` task descriptor qualify automatically.
+pub trait Item: Copy + Send + Sync + Default + 'static {}
+impl<X: Copy + Send + Sync + Default + 'static> Item for X {}
+
+/// Shape of each thread's partition of the global space.
+#[derive(Clone, Copy, Debug)]
+pub struct SpaceConfig {
+    /// Scalar cells per thread.
+    pub scalars: usize,
+    /// Locks per thread.
+    pub locks: usize,
+}
+
+impl Default for SpaceConfig {
+    fn default() -> Self {
+        SpaceConfig {
+            scalars: 24,
+            locks: 4,
+        }
+    }
+}
+
+/// One thread's handle on the partitioned global address space.
+pub trait Comm<T: Item>: Send {
+    /// This thread's id (UPC `MYTHREAD`).
+    fn my_id(&self) -> usize;
+    /// Total number of threads (UPC `THREADS`).
+    fn n_threads(&self) -> usize;
+    /// The platform cost model.
+    fn machine(&self) -> &MachineModel;
+    /// Current time in nanoseconds: virtual on the simulator, wall-clock on
+    /// the native backend.
+    fn now(&self) -> u64;
+
+    /// Charge `units` node-explorations of useful work. On the simulator
+    /// this advances this thread's virtual clock by `units * node_ns`;
+    /// on the native backend the real work was already done by the caller
+    /// and only the accounting is updated.
+    fn work(&mut self, units: u64);
+
+    /// Progress hook (`bupc_poll()`): cheap; lets the simulator interleave
+    /// other threads and the native backend issue a spin-loop hint.
+    fn poll(&mut self);
+
+    /// Charge `ns` of idle/backoff time (spin-wait throttling). On the
+    /// simulator this advances the virtual clock without a memory effect; on
+    /// the native backend it is a spin hint. Unlike [`Comm::work`] the time
+    /// is accounted as overhead, not useful work.
+    fn advance_idle(&mut self, ns: u64);
+
+    /// One-sided read of a scalar cell.
+    fn get(&mut self, thread: usize, var: usize) -> i64;
+    /// One-sided write of a scalar cell.
+    fn put(&mut self, thread: usize, var: usize, val: i64);
+    /// Atomic compare-and-swap on a scalar cell; returns the value observed
+    /// (equal to `expected` iff the swap happened).
+    fn cas(&mut self, thread: usize, var: usize, expected: i64, new: i64) -> i64;
+    /// Atomic fetch-add on a scalar cell; returns the previous value.
+    fn add(&mut self, thread: usize, var: usize, delta: i64) -> i64;
+
+    /// Attempt to acquire a lock; `false` if already held.
+    fn try_lock(&mut self, thread: usize, lock: usize) -> bool;
+    /// Acquire a lock, waiting (and paying retry costs) until available.
+    fn lock(&mut self, thread: usize, lock: usize) {
+        while !self.try_lock(thread, lock) {
+            self.poll();
+        }
+    }
+    /// Release a lock. Panics if the lock is not held (algorithm bug).
+    fn unlock(&mut self, thread: usize, lock: usize);
+
+    /// Current length of `thread`'s item area.
+    fn area_len(&mut self, thread: usize) -> usize;
+    /// Bulk one-sided read: append `len` items starting at `offset` of
+    /// `thread`'s area onto `dst`. Panics if out of range.
+    fn area_read(&mut self, thread: usize, offset: usize, len: usize, dst: &mut Vec<T>);
+    /// Bulk one-sided write of `src` into `thread`'s area at `offset`,
+    /// growing the area (default-filled) as needed.
+    fn area_write(&mut self, thread: usize, offset: usize, src: &[T]);
+    /// Shrink own/remote area to `len` items (used to reclaim dead space
+    /// below a steal frontier). Panics if `len` exceeds the current length.
+    fn area_truncate(&mut self, thread: usize, len: usize);
+
+    /// Send a message to `dst`'s mailbox (non-blocking, buffered).
+    fn send(&mut self, dst: usize, tag: i64, meta: [i64; 4], payload: &[T]);
+    /// Does a delivered message (optionally restricted to `tag`) await us?
+    /// (MPI `Iprobe`.)
+    fn has_msg(&mut self, tag: Option<i64>) -> bool;
+    /// Receive the earliest delivered message (optionally restricted to
+    /// `tag`), if any.
+    fn try_recv(&mut self, tag: Option<i64>) -> Option<Msg<T>>;
+
+    /// Counters accumulated by this handle.
+    fn stats(&self) -> &CommStats;
+}

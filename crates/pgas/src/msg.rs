@@ -1,0 +1,50 @@
+//! Typed point-to-point messages.
+//!
+//! The paper's MPI baseline (§3.2) exchanges steal requests and work chunks
+//! as messages. The [`crate::Comm`] trait carries these over the same cost
+//! model as the one-sided operations so the comparison between `mpi-ws` and
+//! the UPC implementations is apples-to-apples.
+
+/// A message: a small integer tag and metadata word plus a payload of items.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Msg<T> {
+    /// Sending thread.
+    pub src: usize,
+    /// Application-level tag (e.g. steal request vs. work reply).
+    pub tag: i64,
+    /// Four metadata words (chunk counts, token-ring counters, ...).
+    pub meta: [i64; 4],
+    /// Work items carried by the message.
+    pub payload: Vec<T>,
+}
+
+impl<T> Msg<T> {
+    /// Wire size estimate used for cost modelling: a small envelope plus the
+    /// payload bytes.
+    pub fn wire_bytes(&self) -> usize {
+        32 + self.payload.len() * std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_counts_payload() {
+        let empty: Msg<[u8; 24]> = Msg {
+            src: 0,
+            tag: 1,
+            meta: [0; 4],
+            payload: vec![],
+        };
+        assert_eq!(empty.wire_bytes(), 32);
+        let loaded = Msg {
+            src: 0,
+            tag: 1,
+            meta: [0; 4],
+            payload: vec![[0u8; 24]; 10],
+        };
+        assert_eq!(loaded.wire_bytes(), 32 + 240);
+    }
+}

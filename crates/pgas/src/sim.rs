@@ -1,0 +1,776 @@
+//! Deterministic virtual-time backend.
+//!
+//! Each simulated UPC thread is an OS thread, but a **conductor** admits
+//! exactly one at a time: whenever a thread issues a [`Comm`] operation it
+//! (a) advances its own virtual clock by the operation's cost under the
+//! active [`MachineModel`], (b) enqueues itself, and (c) hands the baton to
+//! the thread with the globally smallest virtual clock. Memory effects are
+//! applied at baton-holding time, so the simulated execution is sequentially
+//! consistent *in virtual time* and bit-for-bit reproducible — ties are
+//! broken by thread id.
+//!
+//! Pure computation (`work()`) accumulates locally without a baton exchange;
+//! it is folded into the clock at the next operation. This keeps the
+//! conductor off the hot path of tree exploration: only *communication*
+//! pays for scheduling, mirroring how only communication pays latency on a
+//! real cluster.
+//!
+//! This is how the paper's 256-1024-thread cluster experiments (§4.2) run on
+//! a single host: the virtual makespan plays the role of measured wall-clock
+//! time.
+
+use std::collections::{BTreeMap, BinaryHeap};
+use std::cmp::Reverse;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::comm::{Comm, Item, SpaceConfig};
+use crate::machine::MachineModel;
+use crate::msg::Msg;
+use crate::stats::CommStats;
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct SimReport<R> {
+    /// Per-thread values returned by the worker closure, indexed by thread.
+    pub results: Vec<R>,
+    /// Virtual time at which the last thread retired — the simulated
+    /// wall-clock duration of the parallel run.
+    pub makespan_ns: u64,
+    /// Final virtual clock of each thread.
+    pub clocks: Vec<u64>,
+    /// Per-thread communication statistics.
+    pub stats: Vec<CommStats>,
+    /// Final contents of every thread's scalar cells (for assertions).
+    pub scalars: Vec<Vec<i64>>,
+}
+
+impl<R> SimReport<R> {
+    /// Final value of scalar `var` with affinity to `thread`.
+    pub fn final_scalar(&self, thread: usize, var: usize) -> i64 {
+        self.scalars[thread][var]
+    }
+
+    /// Aggregate statistics over all threads.
+    pub fn total_stats(&self) -> CommStats {
+        let mut acc = CommStats::default();
+        for s in &self.stats {
+            acc.merge(s);
+        }
+        acc
+    }
+}
+
+/// The global memory image (guarded by the conductor mutex).
+struct Mem<T> {
+    scalars: Vec<Vec<i64>>,
+    locks: Vec<Vec<bool>>,
+    areas: Vec<Vec<T>>,
+    /// Per-destination mailbox ordered by (arrival time, send sequence).
+    mailboxes: Vec<BTreeMap<(u64, u64), Msg<T>>>,
+    send_seq: u64,
+}
+
+struct Inner<T> {
+    clocks: Vec<u64>,
+    /// Threads waiting for the baton, keyed by (virtual clock, tid).
+    queue: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Thread currently holding the baton (executing), if any.
+    chosen: Option<usize>,
+    /// Threads registered so far (scheduling starts when all have).
+    started: usize,
+    /// Threads that have retired.
+    retired: usize,
+    mem: Mem<T>,
+    /// Stats deposited by retired threads.
+    final_stats: Vec<Option<CommStats>>,
+}
+
+struct Shared<T> {
+    mx: Mutex<Inner<T>>,
+    cvs: Vec<Condvar>,
+    nthreads: usize,
+    machine: MachineModel,
+}
+
+/// A virtual cluster: construct, then [`SimCluster::run`] a worker closure on
+/// every simulated thread.
+pub struct SimCluster<T: Item> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T: Item> SimCluster<T> {
+    /// Create a cluster of `nthreads` simulated UPC threads over `machine`.
+    pub fn new(machine: MachineModel, nthreads: usize, cfg: SpaceConfig) -> Self {
+        assert!(nthreads > 0, "need at least one thread");
+        let mem = Mem {
+            scalars: vec![vec![0i64; cfg.scalars]; nthreads],
+            locks: vec![vec![false; cfg.locks]; nthreads],
+            areas: (0..nthreads).map(|_| Vec::new()).collect(),
+            mailboxes: (0..nthreads).map(|_| BTreeMap::new()).collect(),
+            send_seq: 0,
+        };
+        let inner = Inner {
+            clocks: vec![0; nthreads],
+            queue: BinaryHeap::with_capacity(nthreads),
+            chosen: None,
+            started: 0,
+            retired: 0,
+            mem,
+            final_stats: vec![None; nthreads],
+        };
+        SimCluster {
+            shared: Arc::new(Shared {
+                mx: Mutex::new(inner),
+                cvs: (0..nthreads).map(|_| Condvar::new()).collect(),
+                nthreads,
+                machine,
+            }),
+        }
+    }
+
+    /// Run `f` on every simulated thread and collect the report.
+    ///
+    /// `f` receives a mutable [`SimComm`] handle; its return values are
+    /// gathered in thread order.
+    pub fn run<R, F>(self, f: F) -> SimReport<R>
+    where
+        R: Send,
+        F: Fn(&mut SimComm<T>) -> R + Sync,
+    {
+        let shared = &self.shared;
+        let n = shared.nthreads;
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (tid, slot) in results.iter_mut().enumerate() {
+                let f = &f;
+                let shared = Arc::clone(shared);
+                let builder = scope.builder().stack_size(512 * 1024).name(format!("sim-{tid}"));
+                handles.push(
+                    builder
+                        .spawn(move |_| {
+                            let mut comm = SimComm::new(shared, tid);
+                            comm.register();
+                            // Hand the baton onward even if the worker
+                            // panics, so the other simulated threads are not
+                            // left parked forever.
+                            let res = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(|| f(&mut comm)),
+                            );
+                            comm.retire();
+                            match res {
+                                Ok(r) => *slot = Some(r),
+                                Err(p) => std::panic::resume_unwind(p),
+                            }
+                        })
+                        .expect("spawn simulated thread"),
+                );
+            }
+            for h in handles {
+                h.join().expect("simulated thread panicked");
+            }
+        })
+        .expect("simulation scope");
+
+        let inner = self.shared.mx.lock();
+        let makespan_ns = inner.clocks.iter().copied().max().unwrap_or(0);
+        SimReport {
+            results: results.into_iter().map(|r| r.expect("thread result")).collect(),
+            makespan_ns,
+            clocks: inner.clocks.clone(),
+            stats: inner
+                .final_stats
+                .iter()
+                .map(|s| s.clone().expect("retired stats"))
+                .collect(),
+            scalars: inner.mem.scalars.clone(),
+        }
+    }
+}
+
+/// Per-thread handle for the simulated cluster. Implements [`Comm`].
+pub struct SimComm<T: Item> {
+    shared: Arc<Shared<T>>,
+    tid: usize,
+    /// Mirror of `clocks[tid]` as of the last conductor interaction.
+    local_clock: u64,
+    /// Accumulated `work()` nanoseconds not yet folded into the clock.
+    pending_work: u64,
+    stats: CommStats,
+}
+
+impl<T: Item> SimComm<T> {
+    fn new(shared: Arc<Shared<T>>, tid: usize) -> Self {
+        SimComm {
+            shared,
+            tid,
+            local_clock: 0,
+            pending_work: 0,
+            stats: CommStats::default(),
+        }
+    }
+
+    /// Hand the baton to the thread with the smallest virtual clock.
+    fn dispatch(inner: &mut Inner<T>, cvs: &[Condvar]) {
+        if let Some(Reverse((_, tid))) = inner.queue.pop() {
+            inner.chosen = Some(tid);
+            cvs[tid].notify_one();
+        } else {
+            inner.chosen = None;
+        }
+    }
+
+    /// Enter the scheduled pool and wait for the first baton.
+    fn register(&mut self) {
+        let mut g = self.shared.mx.lock();
+        g.queue.push(Reverse((0, self.tid)));
+        g.started += 1;
+        if g.started == self.shared.nthreads {
+            Self::dispatch(&mut g, &self.shared.cvs);
+        }
+        while g.chosen != Some(self.tid) {
+            self.shared.cvs[self.tid].wait(&mut g);
+        }
+    }
+
+    /// Advance our clock by `cost` (plus pending work), reschedule, and once
+    /// we are the globally earliest thread apply `eff` to the global memory.
+    fn op<R>(&mut self, cost: u64, eff: impl FnOnce(&mut Mem<T>, u64) -> R) -> R {
+        self.stats.comm_ns += cost;
+        let mut g = self.shared.mx.lock();
+        let t = g.clocks[self.tid] + self.pending_work + cost;
+        self.pending_work = 0;
+        g.clocks[self.tid] = t;
+        self.local_clock = t;
+        g.queue.push(Reverse((t, self.tid)));
+        Self::dispatch(&mut g, &self.shared.cvs);
+        while g.chosen != Some(self.tid) {
+            self.shared.cvs[self.tid].wait(&mut g);
+        }
+        eff(&mut g.mem, t)
+    }
+
+    /// Leave the pool for good, folding in trailing work.
+    fn retire(&mut self) {
+        let mut g = self.shared.mx.lock();
+        g.clocks[self.tid] += self.pending_work;
+        self.pending_work = 0;
+        g.retired += 1;
+        g.final_stats[self.tid] = Some(self.stats.clone());
+        Self::dispatch(&mut g, &self.shared.cvs);
+    }
+
+    fn size_of_items(n: usize) -> usize {
+        n * std::mem::size_of::<T>()
+    }
+}
+
+impl<T: Item> Comm<T> for SimComm<T> {
+    fn my_id(&self) -> usize {
+        self.tid
+    }
+
+    fn n_threads(&self) -> usize {
+        self.shared.nthreads
+    }
+
+    fn machine(&self) -> &MachineModel {
+        &self.shared.machine
+    }
+
+    fn now(&self) -> u64 {
+        self.local_clock + self.pending_work
+    }
+
+    fn work(&mut self, units: u64) {
+        let ns = units * self.shared.machine.node_ns;
+        self.pending_work += ns;
+        self.stats.work_ns += ns;
+    }
+
+    fn advance_idle(&mut self, ns: u64) {
+        self.pending_work += ns;
+        self.stats.comm_ns += ns;
+    }
+
+    fn poll(&mut self) {
+        self.stats.polls += 1;
+        let c = self.shared.machine.poll_ns;
+        self.op(c, |_, _| ());
+    }
+
+    fn get(&mut self, thread: usize, var: usize) -> i64 {
+        self.stats.gets += 1;
+        let c = self.shared.machine.ref_cost(self.tid, thread);
+        self.op(c, |m, _| m.scalars[thread][var])
+    }
+
+    fn put(&mut self, thread: usize, var: usize, val: i64) {
+        self.stats.puts += 1;
+        let c = self.shared.machine.ref_cost(self.tid, thread);
+        self.op(c, |m, _| m.scalars[thread][var] = val)
+    }
+
+    fn cas(&mut self, thread: usize, var: usize, expected: i64, new: i64) -> i64 {
+        self.stats.atomics += 1;
+        let c = self.shared.machine.atomic_cost(self.tid, thread);
+        self.op(c, |m, _| {
+            let cell = &mut m.scalars[thread][var];
+            let observed = *cell;
+            if observed == expected {
+                *cell = new;
+            }
+            observed
+        })
+    }
+
+    fn add(&mut self, thread: usize, var: usize, delta: i64) -> i64 {
+        self.stats.atomics += 1;
+        let c = self.shared.machine.atomic_cost(self.tid, thread);
+        self.op(c, |m, _| {
+            let cell = &mut m.scalars[thread][var];
+            let old = *cell;
+            *cell = old + delta;
+            old
+        })
+    }
+
+    fn try_lock(&mut self, thread: usize, lock: usize) -> bool {
+        let c = self.shared.machine.lock_cost(self.tid, thread);
+        let ok = self.op(c, |m, _| {
+            let held = &mut m.locks[thread][lock];
+            if *held {
+                false
+            } else {
+                *held = true;
+                true
+            }
+        });
+        if ok {
+            self.stats.lock_acquires += 1;
+        } else {
+            self.stats.lock_failures += 1;
+        }
+        ok
+    }
+
+    fn unlock(&mut self, thread: usize, lock: usize) {
+        self.stats.unlocks += 1;
+        let c = self.shared.machine.unlock_cost(self.tid, thread);
+        self.op(c, |m, _| {
+            assert!(m.locks[thread][lock], "unlock of a free lock");
+            m.locks[thread][lock] = false;
+        })
+    }
+
+    fn area_len(&mut self, thread: usize) -> usize {
+        self.stats.gets += 1;
+        let c = self.shared.machine.ref_cost(self.tid, thread);
+        self.op(c, |m, _| m.areas[thread].len())
+    }
+
+    fn area_read(&mut self, thread: usize, offset: usize, len: usize, dst: &mut Vec<T>) {
+        self.stats.bulk_ops += 1;
+        self.stats.bulk_items += len as u64;
+        let c = self
+            .shared
+            .machine
+            .bulk_cost(self.tid, thread, Self::size_of_items(len));
+        self.op(c, |m, _| {
+            let area = &m.areas[thread];
+            assert!(
+                offset + len <= area.len(),
+                "area_read out of range: {}..{} of {}",
+                offset,
+                offset + len,
+                area.len()
+            );
+            dst.extend_from_slice(&area[offset..offset + len]);
+        })
+    }
+
+    fn area_write(&mut self, thread: usize, offset: usize, src: &[T]) {
+        self.stats.bulk_ops += 1;
+        self.stats.bulk_items += src.len() as u64;
+        let c = self
+            .shared
+            .machine
+            .bulk_cost(self.tid, thread, Self::size_of_items(src.len()));
+        self.op(c, |m, _| {
+            let area = &mut m.areas[thread];
+            if area.len() < offset + src.len() {
+                area.resize(offset + src.len(), T::default());
+            }
+            area[offset..offset + src.len()].copy_from_slice(src);
+        })
+    }
+
+    fn area_truncate(&mut self, thread: usize, len: usize) {
+        self.stats.puts += 1;
+        let c = self.shared.machine.ref_cost(self.tid, thread);
+        self.op(c, |m, _| {
+            assert!(len <= m.areas[thread].len(), "truncate beyond area length");
+            m.areas[thread].truncate(len);
+        })
+    }
+
+    fn send(&mut self, dst: usize, tag: i64, meta: [i64; 4], payload: &[T]) {
+        self.stats.msgs_sent += 1;
+        self.stats.msg_items_sent += payload.len() as u64;
+        let msg = Msg {
+            src: self.tid,
+            tag,
+            meta,
+            payload: payload.to_vec(),
+        };
+        let flight = self
+            .shared
+            .machine
+            .msg_flight_ns(self.tid, dst, msg.wire_bytes());
+        let overhead = self.shared.machine.msg_overhead_ns;
+        self.op(overhead, move |m, now| {
+            let seq = m.send_seq;
+            m.send_seq += 1;
+            m.mailboxes[dst].insert((now + flight, seq), msg);
+        })
+    }
+
+    fn has_msg(&mut self, tag: Option<i64>) -> bool {
+        self.stats.gets += 1;
+        let c = self.shared.machine.local_ref_ns;
+        let me = self.tid;
+        self.op(c, |m, now| {
+            m.mailboxes[me]
+                .iter()
+                .take_while(|((arrival, _), _)| *arrival <= now)
+                .any(|(_, msg)| tag.is_none_or(|t| msg.tag == t))
+        })
+    }
+
+    fn try_recv(&mut self, tag: Option<i64>) -> Option<Msg<T>> {
+        let c = self.shared.machine.local_ref_ns;
+        let me = self.tid;
+        let got = self.op(c, |m, now| {
+            let key = m.mailboxes[me]
+                .iter()
+                .take_while(|((arrival, _), _)| *arrival <= now)
+                .find(|(_, msg)| tag.is_none_or(|t| msg.tag == t))
+                .map(|(k, _)| *k)?;
+            m.mailboxes[me].remove(&key)
+        });
+        if got.is_some() {
+            self.stats.msgs_received += 1;
+        }
+        got
+    }
+
+    fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smp_cluster(n: usize) -> SimCluster<u64> {
+        SimCluster::new(MachineModel::smp(), n, SpaceConfig::default())
+    }
+
+    #[test]
+    fn single_thread_runs() {
+        let report = smp_cluster(1).run(|c| {
+            c.put(0, 0, 42);
+            c.get(0, 0)
+        });
+        assert_eq!(report.results, vec![42]);
+        assert_eq!(report.final_scalar(0, 0), 42);
+        assert!(report.makespan_ns > 0);
+    }
+
+    #[test]
+    fn fetch_add_from_all_threads_is_atomic() {
+        let n = 16;
+        let report = smp_cluster(n).run(|c| {
+            for _ in 0..10 {
+                c.add(0, 3, 1);
+            }
+        });
+        assert_eq!(report.final_scalar(0, 3), (n * 10) as i64);
+    }
+
+    #[test]
+    fn cas_exactly_one_winner() {
+        let report = smp_cluster(8).run(|c| {
+            let me = c.my_id() as i64;
+            c.cas(0, 0, 0, me + 1) == 0
+        });
+        let winners = report.results.iter().filter(|&&w| w).count();
+        assert_eq!(winners, 1);
+        // The winner must be thread 0: at equal virtual cost, ties break by
+        // thread id, deterministically.
+        assert!(report.results[0]);
+    }
+
+    #[test]
+    fn clock_advances_with_costs() {
+        let m = MachineModel::kittyhawk();
+        let cluster: SimCluster<u64> = SimCluster::new(m.clone(), 2, SpaceConfig::default());
+        let report = cluster.run(|c| {
+            if c.my_id() == 0 {
+                c.work(1000); // 1000 nodes
+                c.put(1, 0, 7); // remote put
+            }
+            c.now()
+        });
+        // Thread 0's clock ≥ 1000 * node_ns + the put's cost (thread 1 is on
+        // the same 4-core node under the kittyhawk model).
+        assert!(report.clocks[0] >= 1000 * m.node_ns + m.ref_cost(0, 1));
+        assert!(report.makespan_ns >= report.clocks[0]);
+        assert_eq!(report.final_scalar(1, 0), 7);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            SimCluster::<u64>::new(MachineModel::topsail(), 8, SpaceConfig::default()).run(|c| {
+                let me = c.my_id();
+                for i in 0..20 {
+                    c.add((me + i) % 8, 1, 1);
+                    if i % 3 == 0 {
+                        c.work(17);
+                    }
+                }
+                c.now()
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.scalars, b.scalars);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn locks_mutually_exclude() {
+        // Each thread increments a non-atomic pair of cells under a lock;
+        // the pair must never be observed torn.
+        let report = smp_cluster(8).run(|c| {
+            for _ in 0..25 {
+                c.lock(0, 0);
+                let a = c.get(0, 0);
+                let b = c.get(0, 1);
+                assert_eq!(a, b, "torn read under lock");
+                c.put(0, 0, a + 1);
+                c.put(0, 1, b + 1);
+                c.unlock(0, 0);
+            }
+        });
+        assert_eq!(report.final_scalar(0, 0), 200);
+        assert_eq!(report.final_scalar(0, 1), 200);
+        let total = report.total_stats();
+        assert_eq!(total.lock_acquires, 200);
+        assert_eq!(total.unlocks, 200);
+    }
+
+    #[test]
+    fn area_write_then_remote_read() {
+        let report = smp_cluster(2).run(|c| {
+            if c.my_id() == 0 {
+                c.area_write(0, 0, &[11u64, 22, 33, 44]);
+                c.put(1, 0, 1); // signal
+                0
+            } else {
+                while c.get(1, 0) == 0 {
+                    c.poll();
+                }
+                let mut buf = Vec::new();
+                c.area_read(0, 1, 2, &mut buf);
+                (buf[0] + buf[1]) as i64
+            }
+        });
+        assert_eq!(report.results[1], 55);
+    }
+
+    #[test]
+    fn area_grows_and_truncates() {
+        let report = smp_cluster(1).run(|c| {
+            c.area_write(0, 10, &[5u64; 4]);
+            let len = c.area_len(0);
+            c.area_truncate(0, 3);
+            (len, c.area_len(0))
+        });
+        assert_eq!(report.results[0], (14, 3));
+    }
+
+    #[test]
+    fn messages_arrive_after_latency_in_order() {
+        let m = MachineModel::kittyhawk();
+        let cluster: SimCluster<u64> = SimCluster::new(m, 2, SpaceConfig::default());
+        let report = cluster.run(|c| {
+            if c.my_id() == 0 {
+                c.send(1, 7, [100, 0, 0, 0], &[1, 2, 3]);
+                c.send(1, 7, [200, 0, 0, 0], &[4]);
+                vec![]
+            } else {
+                let mut seen = Vec::new();
+                while seen.len() < 2 {
+                    if let Some(msg) = c.try_recv(Some(7)) {
+                        seen.push(msg.meta[0]);
+                    } else {
+                        c.poll();
+                    }
+                }
+                seen
+            }
+        });
+        assert_eq!(report.results[1], vec![100, 200], "FIFO per sender");
+    }
+
+    #[test]
+    fn message_not_visible_before_arrival() {
+        // With remote latency, a recv issued immediately after the (virtual)
+        // send time must not see the message; the receiving thread has to
+        // burn virtual time polling first.
+        let m = MachineModel::kittyhawk();
+        let cluster: SimCluster<u64> = SimCluster::new(m.clone(), 5, SpaceConfig::default());
+        let report = cluster.run(|c| {
+            if c.my_id() == 0 {
+                c.send(4, 1, [9, 0, 0, 0], &[]);
+                0
+            } else if c.my_id() == 4 {
+                let mut polls = 0i64;
+                while c.try_recv(Some(1)).is_none() {
+                    polls += 1;
+                }
+                polls
+            } else {
+                0
+            }
+        });
+        assert!(
+            report.results[4] > 1,
+            "receiver saw the message instantly despite flight latency"
+        );
+    }
+
+    #[test]
+    fn has_msg_respects_tag_filter() {
+        let report = smp_cluster(2).run(|c| {
+            if c.my_id() == 0 {
+                c.send(1, 3, [0; 4], &[9u64]);
+                (false, false)
+            } else {
+                // Wait for delivery.
+                while !c.has_msg(None) {
+                    c.poll();
+                }
+                (c.has_msg(Some(4)), c.has_msg(Some(3)))
+            }
+        });
+        assert_eq!(report.results[1], (false, true));
+    }
+
+    #[test]
+    fn unlock_without_hold_panics() {
+        let result = std::panic::catch_unwind(|| {
+            smp_cluster(1).run(|c| c.unlock(0, 0));
+        });
+        assert!(result.is_err());
+    }
+
+    /// A million pure-work charges must not deadlock or involve the
+    /// conductor heap (regression guard for the pending-work fast path).
+    #[test]
+    fn work_fast_path() {
+        let report = smp_cluster(2).run(|c| {
+            for _ in 0..1000 {
+                c.work(1000);
+            }
+            c.now()
+        });
+        let m = MachineModel::smp();
+        for &t in &report.clocks {
+            assert!(t >= 1_000_000 * m.node_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+
+    /// A worker panic must not deadlock the cluster: the baton is handed on
+    /// before unwinding, the other threads run to completion, and the panic
+    /// resurfaces from `run`.
+    #[test]
+    fn worker_panic_does_not_hang_cluster() {
+        let result = std::panic::catch_unwind(|| {
+            let cluster: SimCluster<u64> =
+                SimCluster::new(MachineModel::smp(), 4, SpaceConfig::default());
+            cluster.run(|c| {
+                if c.my_id() == 2 {
+                    panic!("injected failure");
+                }
+                // The survivors do real communication and finish.
+                for _ in 0..50 {
+                    c.add(0, 0, 1);
+                }
+                c.my_id()
+            })
+        });
+        assert!(result.is_err(), "panic must propagate");
+    }
+
+    /// Out-of-range bulk reads are detected, not silently truncated.
+    #[test]
+    fn area_read_out_of_range_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let cluster: SimCluster<u64> =
+                SimCluster::new(MachineModel::smp(), 1, SpaceConfig::default());
+            cluster.run(|c| {
+                c.area_write(0, 0, &[1, 2, 3]);
+                let mut buf = Vec::new();
+                c.area_read(0, 2, 5, &mut buf); // 2..7 of 3
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    /// Clocks never go backwards across an arbitrary op mix.
+    #[test]
+    fn clock_monotonicity() {
+        let cluster: SimCluster<u64> =
+            SimCluster::new(MachineModel::kittyhawk(), 3, SpaceConfig::default());
+        let report = cluster.run(|c| {
+            let mut last = c.now();
+            let mut oks = 0u32;
+            for i in 0..200u64 {
+                match i % 5 {
+                    0 => {
+                        c.put((i as usize) % 3, 1, i as i64);
+                    }
+                    1 => {
+                        c.work(3);
+                    }
+                    2 => {
+                        let _ = c.get((i as usize + 1) % 3, 1);
+                    }
+                    3 => c.poll(),
+                    _ => {
+                        let _ = c.cas(0, 2, 0, 1);
+                    }
+                }
+                let now = c.now();
+                assert!(now >= last, "clock regressed: {now} < {last}");
+                last = now;
+                oks += 1;
+            }
+            oks
+        });
+        assert!(report.results.iter().all(|&o| o == 200));
+    }
+}

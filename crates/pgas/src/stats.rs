@@ -1,0 +1,120 @@
+//! Per-thread communication statistics.
+//!
+//! The paper quantifies load-balancing activity ("more than 85,000 work
+//! stealing operations per second", §1) and overhead decomposition (93%
+//! working-state efficiency, §6.2); these counters are the raw material for
+//! those reports.
+
+/// Operation counters and accumulated costs for one thread's [`crate::Comm`]
+/// handle. All communication time is in (virtual or real) nanoseconds.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// One-sided scalar reads issued.
+    pub gets: u64,
+    /// One-sided scalar writes issued.
+    pub puts: u64,
+    /// Atomic RMW operations (CAS / fetch-add) issued.
+    pub atomics: u64,
+    /// Lock acquisitions that succeeded.
+    pub lock_acquires: u64,
+    /// Failed `try_lock` attempts (contention indicator).
+    pub lock_failures: u64,
+    /// Lock releases.
+    pub unlocks: u64,
+    /// Bulk area transfers issued.
+    pub bulk_ops: u64,
+    /// Items moved by bulk transfers.
+    pub bulk_items: u64,
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Messages received.
+    pub msgs_received: u64,
+    /// Payload items sent in messages.
+    pub msg_items_sent: u64,
+    /// `poll()` invocations.
+    pub polls: u64,
+    /// Nanoseconds charged to communication (everything except `work`).
+    pub comm_ns: u64,
+    /// Nanoseconds charged to useful work (`work()` calls).
+    pub work_ns: u64,
+}
+
+impl CommStats {
+    /// Total remote-ish operations (a rough analogue of the paper's "load
+    /// balancing operations" denominator).
+    pub fn total_ops(&self) -> u64 {
+        self.gets
+            + self.puts
+            + self.atomics
+            + self.lock_acquires
+            + self.lock_failures
+            + self.unlocks
+            + self.bulk_ops
+            + self.msgs_sent
+            + self.msgs_received
+    }
+
+    /// Merge another thread's counters into this one (for aggregate reports).
+    pub fn merge(&mut self, other: &CommStats) {
+        self.gets += other.gets;
+        self.puts += other.puts;
+        self.atomics += other.atomics;
+        self.lock_acquires += other.lock_acquires;
+        self.lock_failures += other.lock_failures;
+        self.unlocks += other.unlocks;
+        self.bulk_ops += other.bulk_ops;
+        self.bulk_items += other.bulk_items;
+        self.msgs_sent += other.msgs_sent;
+        self.msgs_received += other.msgs_received;
+        self.msg_items_sent += other.msg_items_sent;
+        self.polls += other.polls;
+        self.comm_ns += other.comm_ns;
+        self.work_ns += other.work_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CommStats {
+            gets: 1,
+            puts: 2,
+            comm_ns: 10,
+            ..Default::default()
+        };
+        let b = CommStats {
+            gets: 3,
+            msgs_sent: 4,
+            comm_ns: 5,
+            work_ns: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.gets, 4);
+        assert_eq!(a.puts, 2);
+        assert_eq!(a.msgs_sent, 4);
+        assert_eq!(a.comm_ns, 15);
+        assert_eq!(a.work_ns, 7);
+    }
+
+    #[test]
+    fn total_ops_counts_comm_not_polls() {
+        let s = CommStats {
+            gets: 1,
+            puts: 1,
+            atomics: 1,
+            lock_acquires: 1,
+            lock_failures: 1,
+            unlocks: 1,
+            bulk_ops: 1,
+            msgs_sent: 1,
+            msgs_received: 1,
+            polls: 100,
+            ..Default::default()
+        };
+        assert_eq!(s.total_ops(), 9);
+    }
+}

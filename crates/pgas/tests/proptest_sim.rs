@@ -1,0 +1,153 @@
+//! Property-based tests of the virtual-time simulator: cost accounting is
+//! exact, scheduling is deterministic, and mailbox delivery is FIFO per
+//! sender — for arbitrary randomly generated thread programs.
+
+use pgas::sim::SimCluster;
+use pgas::{Comm, MachineModel, SpaceConfig};
+use proptest::prelude::*;
+
+/// A tiny straight-line program each thread executes.
+#[derive(Clone, Debug)]
+enum Step {
+    Work(u16),
+    Put(usize, i64),
+    Get(usize),
+    Add(usize, i64),
+    Poll,
+}
+
+fn step_strategy(n_threads: usize) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u16..500).prop_map(Step::Work),
+        ((0..n_threads), any::<i64>()).prop_map(|(t, v)| Step::Put(t, v)),
+        (0..n_threads).prop_map(Step::Get),
+        ((0..n_threads), -5i64..5).prop_map(|(t, d)| Step::Add(t, d)),
+        Just(Step::Poll),
+    ]
+}
+
+/// The cost a step charges its issuer under `m` (mirrors the backend).
+fn step_cost(m: &MachineModel, me: usize, s: &Step) -> u64 {
+    match s {
+        Step::Work(units) => u64::from(*units) * m.node_ns,
+        Step::Put(t, _) | Step::Get(t) => m.ref_cost(me, *t),
+        Step::Add(t, _) => m.atomic_cost(me, *t),
+        Step::Poll => m.poll_ns,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Final virtual clocks equal the analytic sum of per-op costs, and the
+    /// makespan is their maximum — for arbitrary interleavings.
+    #[test]
+    fn clocks_equal_cost_sums(
+        n in 1usize..7,
+        programs in prop::collection::vec(
+            prop::collection::vec(step_strategy(6), 0..25),
+            7,
+        ),
+    ) {
+        let machine = MachineModel::kittyhawk();
+        let expected: Vec<u64> = (0..n)
+            .map(|me| {
+                programs[me]
+                    .iter()
+                    .map(|s| {
+                        // Steps may reference thread ids ≥ n; clamp like the
+                        // runner below does.
+                        let mut s = s.clone();
+                        clamp(&mut s, n);
+                        step_cost(&machine, me, &s)
+                    })
+                    .sum()
+            })
+            .collect();
+
+        let cluster: SimCluster<u64> =
+            SimCluster::new(machine, n, SpaceConfig::default());
+        let programs_ref = &programs;
+        let report = cluster.run(|c| {
+            let me = c.my_id();
+            for s in &programs_ref[me] {
+                let mut s = s.clone();
+                clamp(&mut s, c.n_threads());
+                match s {
+                    Step::Work(u) => c.work(u64::from(u)),
+                    Step::Put(t, v) => c.put(t, 0, v),
+                    Step::Get(t) => {
+                        let _ = c.get(t, 0);
+                    }
+                    Step::Add(t, d) => {
+                        let _ = c.add(t, 1, d);
+                    }
+                    Step::Poll => c.poll(),
+                }
+            }
+            c.now()
+        });
+        for (me, want) in expected.iter().enumerate() {
+            prop_assert_eq!(report.clocks[me], *want, "thread {}", me);
+            prop_assert_eq!(report.results[me], *want);
+        }
+        prop_assert_eq!(
+            report.makespan_ns,
+            expected.iter().copied().max().unwrap_or(0)
+        );
+    }
+
+    /// Atomic adds from all threads always sum exactly.
+    #[test]
+    fn adds_always_sum(
+        n in 1usize..7,
+        per_thread in prop::collection::vec(prop::collection::vec(-7i64..7, 0..30), 7),
+    ) {
+        let cluster: SimCluster<u64> =
+            SimCluster::new(MachineModel::smp(), n, SpaceConfig::default());
+        let per_thread_ref = &per_thread;
+        let report = cluster.run(|c| {
+            for &d in &per_thread_ref[c.my_id()] {
+                c.add(0, 2, d);
+            }
+        });
+        let want: i64 = per_thread.iter().take(n).flatten().sum();
+        prop_assert_eq!(report.final_scalar(0, 2), want);
+    }
+
+    /// Messages between a fixed pair are delivered FIFO regardless of
+    /// payload sizes (which perturb flight times — ties broken by seq).
+    #[test]
+    fn mailbox_fifo_per_sender(sizes in prop::collection::vec(0usize..40, 1..20)) {
+        let cluster: SimCluster<u64> =
+            SimCluster::new(MachineModel::kittyhawk(), 2, SpaceConfig::default());
+        let sizes_ref = &sizes;
+        let report = cluster.run(|c| {
+            if c.my_id() == 0 {
+                for (i, &len) in sizes_ref.iter().enumerate() {
+                    c.send(1, 1, [i as i64, 0, 0, 0], &vec![0u64; len]);
+                }
+                vec![]
+            } else {
+                let mut got = Vec::new();
+                while got.len() < sizes_ref.len() {
+                    if let Some(m) = c.try_recv(Some(1)) {
+                        got.push(m.meta[0]);
+                    } else {
+                        c.poll();
+                    }
+                }
+                got
+            }
+        });
+        let want: Vec<i64> = (0..sizes.len() as i64).collect();
+        prop_assert_eq!(&report.results[1], &want);
+    }
+}
+
+fn clamp(s: &mut Step, n: usize) {
+    match s {
+        Step::Put(t, _) | Step::Get(t) | Step::Add(t, _) => *t %= n,
+        _ => {}
+    }
+}

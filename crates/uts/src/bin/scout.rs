@@ -1,0 +1,36 @@
+//! Seed scout: explores candidate (seed, b0, q) binomial parameters and
+//! reports realised tree sizes and imbalance, used once to choose the frozen
+//! presets in `uts_tree::presets`.
+//!
+//! Usage: `cargo run --release -p uts-tree --bin scout -- <b0> <one_minus_2q_inv> <seed_lo> <seed_hi> [limit]`
+//! where q = (1 - 1/one_minus_2q_inv) / 2.
+
+use uts_tree::seq::dfs_count_bounded;
+use uts_tree::TreeSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 4 {
+        eprintln!("usage: scout <b0> <one_minus_2q_inv> <seed_lo> <seed_hi> [limit]");
+        std::process::exit(2);
+    }
+    let b0: u32 = args[0].parse().unwrap();
+    let inv: f64 = args[1].parse().unwrap();
+    let seed_lo: u32 = args[2].parse().unwrap();
+    let seed_hi: u32 = args[3].parse().unwrap();
+    let limit: u64 = args.get(4).map(|s| s.parse().unwrap()).unwrap_or(100_000_000);
+    let q = (1.0 - 1.0 / inv) / 2.0;
+    println!("b0={b0} q={q:.10} expected-subtree={}", 1.0 / (1.0 - 2.0 * q));
+    for seed in seed_lo..seed_hi {
+        let spec = TreeSpec::binomial(seed, b0, 2, q);
+        match dfs_count_bounded(&spec, limit) {
+            Some(r) => {
+                println!(
+                    "seed={seed} nodes={} leaves={} max_depth={} max_stack={}",
+                    r.nodes, r.leaves, r.max_depth, r.max_stack
+                );
+            }
+            None => println!("seed={seed} nodes>LIMIT({limit})"),
+        }
+    }
+}

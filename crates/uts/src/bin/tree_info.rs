@@ -1,0 +1,49 @@
+//! Inspect a preset tree: exact size, depth profile, and root-subtree
+//! imbalance — the workload-characterisation companion to DESIGN.md's
+//! preset table. (The largest presets take a while: one full traversal per
+//! root child for the imbalance measurement.)
+//!
+//! Usage: `cargo run --release -p uts-tree --bin tree_info -- [tiny|s|m|l|xl]`
+
+use uts_tree::presets;
+use uts_tree::stats::{depth_profile, measure_imbalance};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "s".to_string());
+    let preset = match which.as_str() {
+        "tiny" => presets::t_tiny(),
+        "s" => presets::t_s(),
+        "m" => presets::t_m(),
+        "l" => presets::t_l(),
+        "xl" => presets::t_xl(),
+        "xxl" => presets::t_xxl(),
+        other => {
+            eprintln!("unknown preset '{other}'");
+            std::process::exit(2);
+        }
+    };
+    println!("preset {} : {:?}", preset.name, preset.spec);
+    println!(
+        "frozen: {} nodes, {} leaves, max depth {}, max stack {}",
+        preset.expected.nodes, preset.expected.leaves, preset.expected.max_depth, preset.expected.max_stack
+    );
+
+    let prof = depth_profile(&preset.spec);
+    assert_eq!(prof.total, preset.expected.nodes, "preset drifted!");
+    println!(
+        "depth: mean {:.1}, median {}, p90 {}, p99 {}",
+        prof.mean_depth(),
+        prof.depth_quantile(0.5),
+        prof.depth_quantile(0.9),
+        prof.depth_quantile(0.99)
+    );
+
+    let imb = measure_imbalance(&preset.spec);
+    println!(
+        "imbalance: largest root subtree holds {:.2}% of all nodes; {} of {} subtrees cover 90%; cv = {:.1}",
+        100.0 * imb.largest_fraction(),
+        imb.subtrees_for_fraction(0.90),
+        imb.child_sizes.len(),
+        imb.coefficient_of_variation()
+    );
+}

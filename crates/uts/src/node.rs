@@ -1,0 +1,107 @@
+//! UTS tree nodes: 20 bytes of SHA-1 state plus the node's height.
+//!
+//! A node's entire subtree is a pure function of its state, which is what lets
+//! workers ship nodes between depth-first stacks with a 24-byte copy and no
+//! other coordination.
+
+use uts_sha1::Sha1;
+
+/// One task in the search space.
+///
+/// `Copy` and exactly 24 bytes so that chunks of nodes can be moved with a
+/// single bulk one-sided transfer, mirroring the `upc_memget` transfers in the
+/// paper's implementation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+#[repr(C)]
+pub struct Node {
+    /// SHA-1 state identifying this node (and, implicitly, its subtree).
+    pub state: [u8; 20],
+    /// Distance from the root (the root has height 0).
+    pub height: u32,
+}
+
+impl Node {
+    /// The root node for a given 32-bit tree seed (UTS `rng_init`).
+    pub fn root(seed: u32) -> Node {
+        let mut h = Sha1::new();
+        h.update(&seed.to_be_bytes());
+        Node {
+            state: h.finalize(),
+            height: 0,
+        }
+    }
+
+    /// The `i`-th child of this node (UTS `rng_spawn`): SHA-1 of the parent
+    /// state concatenated with the big-endian child index.
+    pub fn child(&self, i: u32) -> Node {
+        let mut h = Sha1::new();
+        h.update(&self.state);
+        h.update(&i.to_be_bytes());
+        Node {
+            state: h.finalize(),
+            height: self.height + 1,
+        }
+    }
+
+    /// A 31-bit non-negative pseudo-random value derived from the node state
+    /// (UTS `rng_rand`): the child-count law consumes this.
+    pub fn rand31(&self) -> u32 {
+        let v = u32::from_be_bytes([self.state[16], self.state[17], self.state[18], self.state[19]]);
+        v >> 1
+    }
+
+    /// Uniform value in `[0, 1)` derived from [`Node::rand31`].
+    pub fn unit(&self) -> f64 {
+        self.rand31() as f64 / (1u64 << 31) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_is_24_bytes() {
+        assert_eq!(std::mem::size_of::<Node>(), 24);
+    }
+
+    #[test]
+    fn roots_differ_by_seed() {
+        assert_ne!(Node::root(0), Node::root(1));
+        assert_eq!(Node::root(42), Node::root(42));
+    }
+
+    #[test]
+    fn children_are_distinct_and_deterministic() {
+        let r = Node::root(0);
+        let c0 = r.child(0);
+        let c1 = r.child(1);
+        assert_ne!(c0, c1);
+        assert_eq!(c0, r.child(0));
+        assert_eq!(c0.height, 1);
+        assert_eq!(c1.height, 1);
+    }
+
+    #[test]
+    fn rand31_is_31_bits() {
+        for seed in 0..64 {
+            let n = Node::root(seed);
+            assert!(n.rand31() < (1 << 31));
+            let u = n.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    /// rand31 over many nodes should look roughly uniform: mean near 2^30.
+    #[test]
+    fn rand31_roughly_uniform() {
+        let r = Node::root(7);
+        let n = 4096u32;
+        let mean: f64 = (0..n).map(|i| r.child(i).rand31() as f64).sum::<f64>() / n as f64;
+        let expected = (1u64 << 30) as f64;
+        assert!(
+            (mean - expected).abs() < expected * 0.05,
+            "mean {mean} too far from {expected}"
+        );
+    }
+}

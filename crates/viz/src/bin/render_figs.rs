@@ -1,0 +1,75 @@
+//! Render every available `results/*.csv` into `results/figures/*.svg`.
+//!
+//! Run the harness binaries first (see EXPERIMENTS.md), then:
+//! `cargo run --release -p uts-viz --bin render_figs`
+
+use std::fs;
+use std::path::Path;
+
+use uts_viz::chart::Chart;
+use uts_viz::{csv, figures};
+
+/// A named figure builder over parsed CSV rows.
+type FigJob = (&'static str, fn(&[csv::Record]) -> Chart);
+
+fn render(csv_path: &str, out_dir: &Path, jobs: &[FigJob]) {
+    let path = Path::new(csv_path);
+    if !path.exists() {
+        eprintln!("skip {csv_path} (not found — run the harness first)");
+        return;
+    }
+    match csv::read(path) {
+        Ok(rows) => {
+            for (name, build) in jobs {
+                let chart = build(&rows);
+                let svg = chart.to_svg(760, 460);
+                let out = out_dir.join(format!("{name}.svg"));
+                match fs::write(&out, svg) {
+                    Ok(()) => println!("wrote {}", out.display()),
+                    Err(e) => eprintln!("cannot write {}: {e}", out.display()),
+                }
+            }
+        }
+        Err(e) => eprintln!("cannot parse {csv_path}: {e}"),
+    }
+}
+
+fn main() {
+    let out_dir = Path::new("results/figures");
+    if let Err(e) = fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+
+    render(
+        "results/fig4.csv",
+        out_dir,
+        &[
+            ("fig4_performance", figures::fig4_performance as fn(&[csv::Record]) -> Chart),
+            ("fig4_speedup", figures::fig4_speedup),
+        ],
+    );
+    render(
+        "results/fig5_xl.csv",
+        out_dir,
+        &[
+            ("fig5_speedup", figures::fig5_speedup as fn(&[csv::Record]) -> Chart),
+            ("fig5_performance", figures::fig5_performance),
+        ],
+    );
+    render(
+        "results/fig5_xxl.csv",
+        out_dir,
+        &[("fig5_xxl_speedup", figures::fig5_speedup as fn(&[csv::Record]) -> Chart)],
+    );
+    render(
+        "results/fig6.csv",
+        out_dir,
+        &[("fig6_speedup", figures::fig6_speedup as fn(&[csv::Record]) -> Chart)],
+    );
+    render(
+        "results/scale_eff.csv",
+        out_dir,
+        &[("scale_eff", figures::scale_eff as fn(&[csv::Record]) -> Chart)],
+    );
+}

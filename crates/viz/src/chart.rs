@@ -1,0 +1,356 @@
+//! A small, dependency-free SVG line-chart renderer.
+//!
+//! Only what the paper's figures need: multiple named series, linear or
+//! log₂ x-axis (chunk sizes and processor counts are powers of two),
+//! linear y-axis from zero, tick labels, a legend, and distinguishable
+//! stroke styles that survive grayscale printing.
+
+/// One named line series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// (x, y) samples; rendered in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A renderable chart.
+#[derive(Clone, Debug)]
+pub struct Chart {
+    /// Title across the top.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Place x ticks at powers of two and scale x logarithmically.
+    pub log2_x: bool,
+    /// The data.
+    pub series: Vec<Series>,
+}
+
+/// Color cycle (Okabe-Ito, colour-blind safe).
+const COLORS: [&str; 7] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#000000",
+];
+/// Dash cycle for grayscale robustness.
+const DASHES: [&str; 4] = ["", "6,3", "2,2", "8,3,2,3"];
+
+/// Margins inside the SVG canvas.
+const ML: f64 = 64.0;
+const MR: f64 = 150.0;
+const MT: f64 = 36.0;
+const MB: f64 = 48.0;
+
+impl Chart {
+    fn x_transform(&self, x: f64) -> f64 {
+        if self.log2_x {
+            x.max(f64::MIN_POSITIVE).log2()
+        } else {
+            x
+        }
+    }
+
+    fn x_range(&self) -> (f64, f64) {
+        let xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| self.x_transform(x)))
+            .collect();
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if lo.is_finite() && hi.is_finite() && hi > lo {
+            (lo, hi)
+        } else if lo.is_finite() {
+            (lo - 0.5, lo + 0.5)
+        } else {
+            (0.0, 1.0)
+        }
+    }
+
+    fn y_max(&self) -> f64 {
+        let hi = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(_, y)| y))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if hi.is_finite() && hi > 0.0 {
+            hi * 1.06
+        } else {
+            1.0
+        }
+    }
+
+    /// "Nice" tick step for a linear axis: 1/2/5 × 10^k covering the range
+    /// in 4-8 steps.
+    fn nice_step(max: f64) -> f64 {
+        let raw = max / 5.0;
+        let mag = 10f64.powf(raw.log10().floor());
+        let norm = raw / mag;
+        let step = if norm < 1.5 {
+            1.0
+        } else if norm < 3.5 {
+            2.0
+        } else if norm < 7.5 {
+            5.0
+        } else {
+            10.0
+        };
+        step * mag
+    }
+
+    /// Render to an SVG document of the given pixel size.
+    pub fn to_svg(&self, width: u32, height: u32) -> String {
+        let w = f64::from(width);
+        let h = f64::from(height);
+        let plot_w = w - ML - MR;
+        let plot_h = h - MT - MB;
+        let (x_lo, x_hi) = self.x_range();
+        let y_hi = self.y_max();
+
+        let px = |x: f64| ML + (self.x_transform(x) - x_lo) / (x_hi - x_lo) * plot_w;
+        let py = |y: f64| MT + (1.0 - y / y_hi) * plot_h;
+
+        let mut out = String::with_capacity(8192);
+        out.push_str(&format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}" font-family="sans-serif" font-size="12">"#
+        ));
+        out.push_str(&format!(
+            r#"<rect width="{width}" height="{height}" fill="white"/>"#
+        ));
+        // Title and axis labels.
+        out.push_str(&format!(
+            r#"<text x="{:.0}" y="20" text-anchor="middle" font-size="14" font-weight="bold">{}</text>"#,
+            ML + plot_w / 2.0,
+            escape(&self.title)
+        ));
+        out.push_str(&format!(
+            r#"<text x="{:.0}" y="{:.0}" text-anchor="middle">{}</text>"#,
+            ML + plot_w / 2.0,
+            h - 10.0,
+            escape(&self.x_label)
+        ));
+        out.push_str(&format!(
+            r#"<text x="16" y="{:.0}" text-anchor="middle" transform="rotate(-90 16 {:.0})">{}</text>"#,
+            MT + plot_h / 2.0,
+            MT + plot_h / 2.0,
+            escape(&self.y_label)
+        ));
+
+        // Axes.
+        out.push_str(&format!(
+            r#"<line x1="{ML}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="black"/>"#,
+            MT + plot_h,
+            ML + plot_w,
+            MT + plot_h
+        ));
+        out.push_str(&format!(
+            r#"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{:.1}" stroke="black"/>"#,
+            MT + plot_h
+        ));
+
+        // X ticks.
+        if self.log2_x {
+            let lo_pow = x_lo.ceil() as i64;
+            let hi_pow = x_hi.floor() as i64;
+            for p in lo_pow..=hi_pow {
+                let xv = 2f64.powi(p as i32);
+                let x = px(xv);
+                out.push_str(&format!(
+                    r#"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="black"/>"#,
+                    MT + plot_h,
+                    MT + plot_h + 4.0
+                ));
+                out.push_str(&format!(
+                    r##"<line x1="{x:.1}" y1="{MT}" x2="{x:.1}" y2="{:.1}" stroke="#ddd"/>"##,
+                    MT + plot_h
+                ));
+                out.push_str(&format!(
+                    r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+                    MT + plot_h + 18.0,
+                    format_num(xv)
+                ));
+            }
+        } else {
+            let step = Self::nice_step(x_hi - x_lo);
+            let mut t = (x_lo / step).ceil() * step;
+            while t <= x_hi + 1e-9 {
+                let x = ML + (t - x_lo) / (x_hi - x_lo) * plot_w;
+                out.push_str(&format!(
+                    r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+                    MT + plot_h + 18.0,
+                    format_num(t)
+                ));
+                t += step;
+            }
+        }
+
+        // Y ticks.
+        let step = Self::nice_step(y_hi);
+        let mut t = 0.0;
+        while t <= y_hi + 1e-9 {
+            let y = py(t);
+            out.push_str(&format!(
+                r#"<line x1="{:.1}" y1="{y:.1}" x2="{ML}" y2="{y:.1}" stroke="black"/>"#,
+                ML - 4.0
+            ));
+            out.push_str(&format!(
+                r##"<line x1="{ML}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#eee"/>"##,
+                ML + plot_w
+            ));
+            out.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>"#,
+                ML - 8.0,
+                y + 4.0,
+                format_num(t)
+            ));
+            t += step;
+        }
+
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = COLORS[i % COLORS.len()];
+            let dash = DASHES[i % DASHES.len()];
+            let mut pts = s.points.clone();
+            pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let path: Vec<String> = pts
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+                .collect();
+            let dash_attr = if dash.is_empty() {
+                String::new()
+            } else {
+                format!(r#" stroke-dasharray="{dash}""#)
+            };
+            out.push_str(&format!(
+                r#"<polyline fill="none" stroke="{color}" stroke-width="2"{dash_attr} points="{}"/>"#,
+                path.join(" ")
+            ));
+            for &(x, y) in &pts {
+                out.push_str(&format!(
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                    px(x),
+                    py(y)
+                ));
+            }
+            // Legend entry.
+            let ly = MT + 10.0 + i as f64 * 18.0;
+            let lx = ML + plot_w + 10.0;
+            out.push_str(&format!(
+                r#"<line x1="{lx:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"{dash_attr}/>"#,
+                lx + 22.0
+            ));
+            out.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}">{}</text>"#,
+                lx + 28.0,
+                ly + 4.0,
+                escape(&s.name)
+            ));
+        }
+
+        out.push_str("</svg>");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn format_num(v: f64) -> String {
+    if v.fract().abs() < 1e-9 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Chart {
+        Chart {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            log2_x: true,
+            series: vec![
+                Series {
+                    name: "a".into(),
+                    points: vec![(1.0, 1.0), (2.0, 3.0), (4.0, 2.0)],
+                },
+                Series {
+                    name: "b".into(),
+                    points: vec![(1.0, 2.0), (4.0, 4.0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = demo().to_svg(640, 400);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+        // One circle per point.
+        assert_eq!(svg.matches("<circle").count(), 5);
+    }
+
+    #[test]
+    fn log2_ticks_are_powers_of_two() {
+        let svg = demo().to_svg(640, 400);
+        assert!(svg.contains(">1</text>"));
+        assert!(svg.contains(">2</text>"));
+        assert!(svg.contains(">4</text>"));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let mut c = demo();
+        c.title = "a<b&c".into();
+        let svg = c.to_svg(320, 200);
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert!(!svg.contains("a<b&c"));
+    }
+
+    #[test]
+    fn nice_step_values() {
+        assert_eq!(Chart::nice_step(10.0), 2.0);
+        assert_eq!(Chart::nice_step(100.0), 20.0);
+        assert_eq!(Chart::nice_step(7.0), 1.0);
+        assert_eq!(Chart::nice_step(30.0), 5.0);
+    }
+
+    #[test]
+    fn single_point_series_does_not_panic() {
+        let c = Chart {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            log2_x: false,
+            series: vec![Series {
+                name: "p".into(),
+                points: vec![(3.0, 3.0)],
+            }],
+        };
+        let svg = c.to_svg(200, 100);
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    fn empty_chart_does_not_panic() {
+        let c = Chart {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            log2_x: false,
+            series: vec![],
+        };
+        let svg = c.to_svg(200, 100);
+        assert!(svg.starts_with("<svg"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Builders mapping harness CSVs to the paper's figures.
+
+use std::collections::BTreeMap;
+
+use crate::chart::{Chart, Series};
+use crate::csv::Record;
+
+/// Group records into per-algorithm series of (x_col, y_col).
+fn series_by_algorithm(rows: &[Record], x_col: &str, y_col: &str) -> Vec<Series> {
+    let mut by_alg: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for r in rows {
+        let (Some(alg), Some(x), Some(y)) = (r.get("algorithm"), r.num(x_col), r.num(y_col))
+        else {
+            continue;
+        };
+        by_alg.entry(alg.to_string()).or_default().push((x, y));
+    }
+    by_alg
+        .into_iter()
+        .map(|(name, points)| Series { name, points })
+        .collect()
+}
+
+/// Figure 4: absolute performance vs chunk size (one line per label).
+pub fn fig4_performance(rows: &[Record]) -> Chart {
+    Chart {
+        title: "Figure 4: performance vs chunk size (256 threads, Kitty Hawk model)".into(),
+        x_label: "chunk size k".into(),
+        y_label: "Mnodes/s".into(),
+        log2_x: true,
+        series: series_by_algorithm(rows, "chunk", "mnodes_per_sec"),
+    }
+}
+
+/// Figure 4 companion: speedup vs chunk size.
+pub fn fig4_speedup(rows: &[Record]) -> Chart {
+    Chart {
+        title: "Figure 4: speedup vs chunk size (256 threads, Kitty Hawk model)".into(),
+        x_label: "chunk size k".into(),
+        y_label: "speedup".into(),
+        log2_x: true,
+        series: series_by_algorithm(rows, "chunk", "speedup"),
+    }
+}
+
+/// Figure 5: speedup vs processors.
+pub fn fig5_speedup(rows: &[Record]) -> Chart {
+    Chart {
+        title: "Figure 5: speedup vs processors (Topsail model)".into(),
+        x_label: "processors".into(),
+        y_label: "speedup".into(),
+        log2_x: true,
+        series: series_by_algorithm(rows, "threads", "speedup"),
+    }
+}
+
+/// Figure 5 companion: absolute performance vs processors.
+pub fn fig5_performance(rows: &[Record]) -> Chart {
+    Chart {
+        title: "Figure 5: performance vs processors (Topsail model)".into(),
+        x_label: "processors".into(),
+        y_label: "Mnodes/s".into(),
+        log2_x: true,
+        series: series_by_algorithm(rows, "threads", "mnodes_per_sec"),
+    }
+}
+
+/// Figure 6: speedup vs processors on the Altix.
+pub fn fig6_speedup(rows: &[Record]) -> Chart {
+    Chart {
+        title: "Figure 6: speedup on the SGI Altix 3700 model".into(),
+        x_label: "processors".into(),
+        y_label: "speedup".into(),
+        log2_x: true,
+        series: series_by_algorithm(rows, "threads", "speedup"),
+    }
+}
+
+/// Supplemental: efficiency vs problem size.
+pub fn scale_eff(rows: &[Record]) -> Chart {
+    Chart {
+        title: "Efficiency vs problem size (upc-distmem, 64 threads)".into(),
+        x_label: "tree nodes".into(),
+        y_label: "efficiency".into(),
+        log2_x: true,
+        series: series_by_algorithm(rows, "nodes", "efficiency"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::parse;
+
+    const SAMPLE: &str = "\
+algorithm,threads,chunk,nodes,mnodes_per_sec,speedup,efficiency
+upc-distmem,256,1,100,62.3,26.0,0.10
+upc-distmem,256,2,100,69.4,29.0,0.11
+mpi-ws,256,1,100,34.0,14.2,0.05
+mpi-ws,256,2,100,51.0,21.3,0.08
+";
+
+    #[test]
+    fn fig4_builds_one_series_per_algorithm() {
+        let rows = parse(SAMPLE).unwrap();
+        let c = fig4_performance(&rows);
+        assert_eq!(c.series.len(), 2);
+        let dm = c.series.iter().find(|s| s.name == "upc-distmem").unwrap();
+        assert_eq!(dm.points, vec![(1.0, 62.3), (2.0, 69.4)]);
+        assert!(c.log2_x);
+    }
+
+    #[test]
+    fn fig5_uses_threads_axis() {
+        let rows = parse(SAMPLE).unwrap();
+        let c = fig5_speedup(&rows);
+        let dm = c.series.iter().find(|s| s.name == "upc-distmem").unwrap();
+        assert_eq!(dm.points[0], (256.0, 26.0));
+    }
+
+    #[test]
+    fn renders_end_to_end() {
+        let rows = parse(SAMPLE).unwrap();
+        for chart in [
+            fig4_performance(&rows),
+            fig4_speedup(&rows),
+            fig5_speedup(&rows),
+            fig5_performance(&rows),
+            fig6_speedup(&rows),
+            scale_eff(&rows),
+        ] {
+            let svg = chart.to_svg(720, 440);
+            assert!(svg.contains("polyline"), "{}", chart.title);
+        }
+    }
+
+    #[test]
+    fn missing_columns_produce_empty_series() {
+        let rows = parse("algorithm,foo\na,1\n").unwrap();
+        let c = fig4_performance(&rows);
+        assert!(c.series.is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Beyond UTS: load-balance a different exhaustive search.
+//!
+//! §3 of the paper notes the UPC work-stealing framework "could be easily
+//! augmented to use more complex search methods". The engine here is generic
+//! over [`TaskGen`], so any implicit tree works. This example enumerates the
+//! N-Queens search tree: each task is a partially filled board (encoded in
+//! three bitmasks), children are the legal placements in the next row.
+//!
+//! The node count of this tree is a well-defined combinatorial quantity; we
+//! verify the parallel count against a local sequential recursion, and count
+//! solutions as a byproduct of the tree shape (leaves at depth N).
+//!
+//! Run with: `cargo run --release --example custom_search`
+
+use pgas::MachineModel;
+use uts_dlb::worksteal::{run_sim, Algorithm, RunConfig, TaskGen};
+
+const N: u32 = 10;
+
+/// A partial N-Queens placement: row index plus the three attack masks.
+#[derive(Clone, Copy, Default, Debug)]
+struct Board {
+    row: u32,
+    cols: u32,
+    diag_l: u32,
+    diag_r: u32,
+}
+
+/// N-Queens as an implicit task tree.
+#[derive(Clone, Copy)]
+struct Queens {
+    n: u32,
+}
+
+impl TaskGen for Queens {
+    type Task = Board;
+
+    fn root(&self) -> Board {
+        Board::default()
+    }
+
+    fn expand(&self, b: &Board, out: &mut Vec<Board>) -> u32 {
+        if b.row == self.n {
+            return 0; // complete placement: a solution leaf
+        }
+        let full = (1u32 << self.n) - 1;
+        let mut free = full & !(b.cols | b.diag_l | b.diag_r);
+        let mut produced = 0;
+        while free != 0 {
+            let bit = free & free.wrapping_neg();
+            free ^= bit;
+            out.push(Board {
+                row: b.row + 1,
+                cols: b.cols | bit,
+                diag_l: (b.diag_l | bit) << 1,
+                diag_r: (b.diag_r | bit) >> 1,
+            });
+            produced += 1;
+        }
+        produced
+    }
+}
+
+/// Sequential reference: count tree nodes and solutions.
+fn seq_count(g: &Queens) -> (u64, u64) {
+    let mut stack = vec![g.root()];
+    let mut nodes = 0u64;
+    let mut solutions = 0u64;
+    let mut scratch = Vec::new();
+    while let Some(b) = stack.pop() {
+        nodes += 1;
+        if b.row == g.n {
+            solutions += 1;
+            continue;
+        }
+        scratch.clear();
+        g.expand(&b, &mut scratch);
+        stack.extend_from_slice(&scratch);
+    }
+    (nodes, solutions)
+}
+
+fn main() {
+    let gen = Queens { n: N };
+    let (nodes, solutions) = seq_count(&gen);
+    println!("{N}-Queens: search tree has {nodes} nodes, {solutions} solutions");
+    assert_eq!(solutions, 724, "10-Queens has 724 solutions");
+
+    let machine = MachineModel::topsail();
+    // Bounded-depth searches keep shallow stacks: use a small chunk so
+    // surplus is actually released (UTS tolerates k=16; N-Queens wants 4).
+    let cfg = RunConfig::new(Algorithm::DistMem, 4);
+    let report = run_sim(machine.clone(), 32, &gen, &cfg);
+    assert_eq!(report.total_nodes, nodes, "parallel count mismatch");
+    println!(
+        "parallel count on 32 simulated threads: {} nodes, speedup {:.1}, {} steals",
+        report.total_nodes,
+        report.speedup(machine.seq_rate()),
+        report.total_steals()
+    );
+    println!("(the same engine balances any implicit search tree — this one has");
+    println!(" bounded depth {N} and branching ≤ {N}, very unlike UTS, yet no code changed)");
+}

@@ -1,0 +1,62 @@
+//! The Figure-1 state machine, observed.
+//!
+//! Runs `upc-distmem` on a tiny tree with 4 simulated threads and prints
+//! each thread's per-state time decomposition and protocol counters — a
+//! direct view of the Working / Searching / Stealing / Terminating cycle
+//! and of the request/response steal protocol's costs.
+//!
+//! Run with: `cargo run --release --example protocol_trace`
+
+use pgas::MachineModel;
+use uts_dlb::tree::presets;
+use uts_dlb::worksteal::state::State;
+use uts_dlb::worksteal::{run_sim, Algorithm, RunConfig, UtsGen};
+
+fn main() {
+    let preset = presets::t_s();
+    let gen = UtsGen::new(preset.spec);
+    let machine = MachineModel::kittyhawk();
+    let cfg = RunConfig::new(Algorithm::DistMem, 4);
+    let report = run_sim(machine.clone(), 4, &gen, &cfg);
+    assert_eq!(report.total_nodes, preset.expected.nodes);
+
+    println!(
+        "upc-distmem on {} ({} nodes), 4 simulated threads, k=4\n",
+        preset.name, preset.expected.nodes
+    );
+    println!(
+        "{:<8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7} {:>9}",
+        "thread", "nodes", "work(ms)", "srch(ms)", "steal(ms)", "term(ms)", "steals", "fails", "srvcd", "trans"
+    );
+    for (t, r) in report.per_thread.iter().enumerate() {
+        println!(
+            "{:<8} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7} {:>7} {:>7} {:>9}",
+            t,
+            r.nodes,
+            r.state_ns[State::Working as usize] as f64 / 1e6,
+            r.state_ns[State::Searching as usize] as f64 / 1e6,
+            r.state_ns[State::Stealing as usize] as f64 / 1e6,
+            r.state_ns[State::Terminating as usize] as f64 / 1e6,
+            r.steals_ok,
+            r.steals_failed,
+            r.requests_serviced,
+            r.transitions,
+        );
+    }
+
+    let totals = report.totals();
+    println!("\nglobal: {} nodes, makespan {:.3} ms virtual", report.total_nodes, report.makespan_ns as f64 / 1e6);
+    println!(
+        "lock operations: {} (the §3.3.3 stack is lock-less — compare `upc-sharedmem`)",
+        totals.comm.lock_acquires
+    );
+
+    // Contrast with the locked shared-memory algorithm.
+    let cfg = RunConfig::new(Algorithm::SharedMem, 4);
+    let report = run_sim(machine, 4, &gen, &cfg);
+    let totals = report.totals();
+    println!(
+        "upc-sharedmem on the same run: {} lock acquisitions, {} failed lock attempts",
+        totals.comm.lock_acquires, totals.comm.lock_failures
+    );
+}

@@ -1,0 +1,43 @@
+//! Visualize a run: ASCII Gantt chart of every thread's Figure-1 states.
+//!
+//! `W` working, `s` searching, `x` stealing, `t` terminating. Watch the
+//! wavefront: thread 0 starts with the root, work diffuses outward through
+//! steals, and the termination phase appears as a thin `t` band at the end.
+//!
+//! Run with: `cargo run --release --example timeline`
+
+use pgas::MachineModel;
+use uts_dlb::tree::presets;
+use uts_dlb::worksteal::trace::render_timeline;
+use uts_dlb::worksteal::{run_sim, Algorithm, RunConfig, UtsGen};
+
+fn main() {
+    let preset = presets::t_s();
+    let gen = UtsGen::new(preset.spec);
+    let machine = MachineModel::kittyhawk();
+
+    for alg in [Algorithm::DistMem, Algorithm::SharedMem] {
+        let mut cfg = RunConfig::new(alg, 4);
+        cfg.trace = true;
+        let report = run_sim(machine.clone(), 12, &gen, &cfg);
+        assert_eq!(report.total_nodes, preset.expected.nodes);
+        println!(
+            "\n=== {} | 12 threads | {} | makespan {:.2} ms virtual ===",
+            report.label,
+            preset.name,
+            report.makespan_ns as f64 / 1e6
+        );
+        print!(
+            "{}",
+            render_timeline(&report.event_logs(), report.makespan_ns, 100)
+        );
+        let d = report.diffusion();
+        if let Some(t100) = d.t100_ns {
+            println!(
+                "all threads had work within {:.1}% of the makespan",
+                100.0 * t100 as f64 / report.makespan_ns as f64
+            );
+        }
+    }
+    println!("\nlegend: W working, s searching, x stealing, t terminating, . idle");
+}

@@ -1,0 +1,105 @@
+//! The golden invariant, across the whole matrix: every algorithm, backend,
+//! tree shape, thread count, and chunk size must count every node exactly
+//! once. Any termination-detection or steal-protocol bug shows up here as a
+//! lost/duplicated node or a hang.
+
+use pgas::MachineModel;
+use uts_dlb::tree::{presets, TreeSpec};
+use uts_dlb::worksteal::{run_sim, seq_run, Algorithm, RunConfig, UtsGen};
+
+fn check_sim(machine: &MachineModel, spec: TreeSpec, threads: usize, k: usize, alg: Algorithm) {
+    let gen = UtsGen::new(spec);
+    let (expect, _) = seq_run(&gen);
+    let cfg = RunConfig::new(alg, k);
+    let report = run_sim(machine.clone(), threads, &gen, &cfg);
+    assert_eq!(
+        report.total_nodes,
+        expect,
+        "{} p={threads} k={k} {spec:?}",
+        alg.label()
+    );
+}
+
+#[test]
+fn paper_algorithms_tiny_tree_thread_grid() {
+    let spec = presets::t_tiny().spec;
+    let m = MachineModel::smp();
+    for alg in Algorithm::paper_set() {
+        for threads in [1, 2, 4, 9] {
+            check_sim(&m, spec, threads, 2, alg);
+        }
+    }
+}
+
+#[test]
+fn extensions_tiny_tree_thread_grid() {
+    let spec = presets::t_tiny().spec;
+    let m = MachineModel::smp();
+    for alg in [Algorithm::Hier, Algorithm::Pushing] {
+        for threads in [1, 3, 8] {
+            check_sim(&m, spec, threads, 2, alg);
+        }
+    }
+}
+
+#[test]
+fn chunk_size_grid() {
+    let spec = presets::t_tiny().spec;
+    let m = MachineModel::kittyhawk();
+    for alg in [Algorithm::DistMem, Algorithm::SharedMem, Algorithm::MpiWs] {
+        for k in [1, 2, 7, 32] {
+            check_sim(&m, spec, 4, k, alg);
+        }
+    }
+}
+
+#[test]
+fn high_latency_machine_models() {
+    let spec = presets::t_tiny().spec;
+    for m in [
+        MachineModel::kittyhawk(),
+        MachineModel::topsail(),
+        MachineModel::altix(),
+    ] {
+        for alg in [Algorithm::DistMem, Algorithm::Term, Algorithm::MpiWs] {
+            check_sim(&m, spec, 6, 2, alg);
+        }
+    }
+}
+
+#[test]
+fn degenerate_trees() {
+    let m = MachineModel::smp();
+    // Root-only, star, and a two-child root: work may be scarcer than
+    // threads; termination must still be detected.
+    for spec in [
+        TreeSpec::binomial(1, 0, 2, 0.9),
+        TreeSpec::binomial(2, 6, 2, 0.0),
+        TreeSpec::binomial(4, 2, 2, 0.45),
+    ] {
+        for alg in Algorithm::paper_set() {
+            check_sim(&m, spec, 5, 2, alg);
+        }
+    }
+}
+
+#[test]
+fn more_threads_than_nodes() {
+    // 13-node star on 16 threads: most threads never get work at all.
+    let spec = TreeSpec::binomial(9, 12, 2, 0.0);
+    let m = MachineModel::smp();
+    for alg in Algorithm::all() {
+        check_sim(&m, spec, 16, 1, alg);
+    }
+}
+
+/// Mid-size tree, release profile: a bigger run (~46k nodes) exercising
+/// deep stacks, compaction, and multi-chunk grants.
+#[test]
+fn t_s_distmem_and_rapdif() {
+    let p = presets::t_s();
+    let m = MachineModel::kittyhawk();
+    for alg in [Algorithm::DistMem, Algorithm::TermRapdif] {
+        check_sim(&m, p.spec, 8, 4, alg);
+    }
+}

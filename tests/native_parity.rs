@@ -1,0 +1,49 @@
+//! Native-backend (real OS threads, real atomics) integration: the same
+//! worker code must behave identically on real shared memory — the paper's
+//! shared-memory setting.
+
+use pgas::MachineModel;
+use uts_dlb::tree::presets;
+use uts_dlb::worksteal::{run_native, run_sim, Algorithm, RunConfig, UtsGen};
+
+#[test]
+fn all_algorithms_conserve_natively() {
+    let p = presets::t_tiny();
+    let gen = UtsGen::new(p.spec);
+    for alg in Algorithm::all() {
+        for threads in [1usize, 2, 4] {
+            let cfg = RunConfig::new(alg, 2);
+            let report = run_native(MachineModel::smp(), threads, &gen, &cfg);
+            assert_eq!(
+                report.total_nodes,
+                p.expected.nodes,
+                "{} p={threads} native",
+                alg.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn native_mid_size_distmem() {
+    let p = presets::t_s();
+    let gen = UtsGen::new(p.spec);
+    let cfg = RunConfig::new(Algorithm::DistMem, 8);
+    let report = run_native(MachineModel::smp(), 4, &gen, &cfg);
+    assert_eq!(report.total_nodes, p.expected.nodes);
+    // Wall-clock makespan and per-thread clocks must be sane.
+    assert!(report.makespan_ns > 0);
+    assert_eq!(report.per_thread.len(), 4);
+}
+
+/// A sim report and a native report agree on the *logical* outcome (total
+/// nodes); their timing domains differ (virtual vs wall).
+#[test]
+fn sim_native_logical_agreement() {
+    let p = presets::t_tiny();
+    let gen = UtsGen::new(p.spec);
+    let cfg = RunConfig::new(Algorithm::Term, 2);
+    let sim = run_sim(MachineModel::smp(), 3, &gen, &cfg);
+    let native = run_native(MachineModel::smp(), 3, &gen, &cfg);
+    assert_eq!(sim.total_nodes, native.total_nodes);
+}

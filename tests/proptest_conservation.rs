@@ -1,0 +1,68 @@
+//! Property-based conservation: random subcritical trees × random
+//! algorithm/threads/chunk configurations must always match the sequential
+//! count. Complements the fixed-grid tests with shapes nobody hand-picked.
+
+use pgas::MachineModel;
+use proptest::prelude::*;
+use uts_dlb::tree::TreeSpec;
+use uts_dlb::worksteal::{run_sim, seq_run, Algorithm, RunConfig, UtsGen};
+
+fn algorithm_strategy() -> impl Strategy<Value = Algorithm> {
+    prop_oneof![
+        Just(Algorithm::SharedMem),
+        Just(Algorithm::Term),
+        Just(Algorithm::TermRapdif),
+        Just(Algorithm::DistMem),
+        Just(Algorithm::MpiWs),
+        Just(Algorithm::Hier),
+        Just(Algorithm::Pushing),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 40,
+        ..ProptestConfig::default()
+    })]
+
+    /// Conservation under random trees and configurations.
+    #[test]
+    fn random_tree_random_config_conserves(
+        seed in 0u32..1000,
+        b0 in 0u32..24,
+        // Keep branching clearly subcritical so trees stay small: q ≤ 0.44.
+        q_millis in 0u32..440,
+        threads in 1usize..7,
+        k in 1usize..9,
+        alg in algorithm_strategy(),
+    ) {
+        let spec = TreeSpec::binomial(seed, b0, 2, q_millis as f64 / 1000.0);
+        let gen = UtsGen::new(spec);
+        let (expect, _) = seq_run(&gen);
+        // Guard against a rare large tree slowing the suite.
+        prop_assume!(expect < 200_000);
+        let cfg = RunConfig::new(alg, k);
+        let report = run_sim(MachineModel::smp(), threads, &gen, &cfg);
+        prop_assert_eq!(report.total_nodes, expect);
+    }
+
+    /// Per-thread node counts always sum to the total, and no thread
+    /// reports more steals-ok than chunks received.
+    #[test]
+    fn per_thread_accounting(
+        seed in 0u32..100,
+        threads in 2usize..6,
+        alg in algorithm_strategy(),
+    ) {
+        let spec = TreeSpec::binomial(seed, 12, 2, 0.42);
+        let gen = UtsGen::new(spec);
+        let cfg = RunConfig::new(alg, 2);
+        let report = run_sim(MachineModel::smp(), threads, &gen, &cfg);
+        let sum: u64 = report.per_thread.iter().map(|t| t.nodes).sum();
+        prop_assert_eq!(sum, report.total_nodes);
+        for t in &report.per_thread {
+            prop_assert!(t.chunks_stolen >= t.steals_ok);
+        }
+    }
+}

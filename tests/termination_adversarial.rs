@@ -1,0 +1,57 @@
+//! Adversarial termination schedules: many random (seed, threads, chunk)
+//! configurations on tiny trees, where termination detection is the entire
+//! run (work runs out almost immediately and the detectors race with
+//! late-arriving steals). Complements `examples/termination_stress.rs`,
+//! which sweeps a larger grid in release mode.
+
+use pgas::MachineModel;
+use uts_dlb::tree::TreeSpec;
+use uts_dlb::worksteal::{run_sim, seq_run, Algorithm, RunConfig, UtsGen};
+
+fn stress(alg: Algorithm, machine: &MachineModel, cases: u64) {
+    for i in 0..cases {
+        // Vary everything deterministically from i.
+        let tree_seed = (i * 7 + 1) as u32;
+        let b0 = (i % 5) as u32 * 3; // includes 0: root-only trees
+        let q = 0.05 + 0.4 * ((i % 7) as f64 / 7.0);
+        let threads = 2 + (i % 6) as usize;
+        let k = 1 + (i % 3) as usize;
+        let spec = TreeSpec::binomial(tree_seed, b0, 2, q);
+        let gen = UtsGen::new(spec);
+        let (expect, _) = seq_run(&gen);
+        let mut cfg = RunConfig::new(alg, k);
+        cfg.seed = i.wrapping_mul(0x9E37_79B9);
+        let report = run_sim(machine.clone(), threads, &gen, &cfg);
+        assert_eq!(
+            report.total_nodes,
+            expect,
+            "{} case {i}: seed={tree_seed} b0={b0} q={q:.2} p={threads} k={k}",
+            alg.label()
+        );
+    }
+}
+
+#[test]
+fn distmem_adversarial() {
+    stress(Algorithm::DistMem, &MachineModel::kittyhawk(), 20);
+}
+
+#[test]
+fn term_adversarial() {
+    stress(Algorithm::Term, &MachineModel::kittyhawk(), 20);
+}
+
+#[test]
+fn sharedmem_adversarial() {
+    stress(Algorithm::SharedMem, &MachineModel::smp(), 15);
+}
+
+#[test]
+fn mpi_ws_adversarial() {
+    stress(Algorithm::MpiWs, &MachineModel::kittyhawk(), 20);
+}
+
+#[test]
+fn pushing_adversarial() {
+    stress(Algorithm::Pushing, &MachineModel::smp(), 15);
+}

@@ -1,0 +1,67 @@
+//! The load balancers must work on the *whole* UTS family, not just the
+//! paper's binomial trees: geometric (all four depth profiles) and hybrid
+//! shapes too, since the child-count law is opaque to the algorithms.
+
+use pgas::MachineModel;
+use uts_dlb::tree::{GeoShape, TreeSpec};
+use uts_dlb::worksteal::{run_sim, seq_run, Algorithm, RunConfig, UtsGen};
+
+/// Geometric roots draw their child count too: a given seed can yield a
+/// single-node tree (probability 1/(1+b0)). Scan forward from the given
+/// seed to the first non-degenerate instance before testing.
+fn check(mut spec: TreeSpec, alg: Algorithm, threads: usize) {
+    let expect = loop {
+        let (expect, _) = seq_run(&UtsGen::new(spec));
+        if expect > 10 {
+            break expect;
+        }
+        spec.seed += 100;
+    };
+    let gen = UtsGen::new(spec);
+    let report = run_sim(MachineModel::smp(), threads, &gen, &RunConfig::new(alg, 4));
+    assert_eq!(report.total_nodes, expect, "{} on {spec:?}", alg.label());
+}
+
+#[test]
+fn geometric_fixed() {
+    check(
+        TreeSpec::geometric(1, 2.0, 8, GeoShape::Fixed),
+        Algorithm::DistMem,
+        4,
+    );
+}
+
+#[test]
+fn geometric_linear() {
+    check(
+        TreeSpec::geometric(2, 4.0, 10, GeoShape::Linear),
+        Algorithm::TermRapdif,
+        4,
+    );
+}
+
+#[test]
+fn geometric_expdec() {
+    check(
+        TreeSpec::geometric(3, 6.0, 12, GeoShape::ExpDec),
+        Algorithm::MpiWs,
+        3,
+    );
+}
+
+#[test]
+fn geometric_cyclic() {
+    check(
+        TreeSpec::geometric(5, 2.0, 4, GeoShape::Cyclic),
+        Algorithm::Term,
+        4,
+    );
+}
+
+#[test]
+fn hybrid_tree_all_paper_algorithms() {
+    let spec = TreeSpec::hybrid(4, 3.0, 3, 2, 0.40);
+    for alg in Algorithm::paper_set() {
+        check(spec, alg, 5);
+    }
+}
