@@ -1,0 +1,199 @@
+//! Harness-cost benchmark for the virtual-time conductor.
+//!
+//! Unlike the figure binaries, this benchmark measures the *simulator
+//! itself*: the same workload is run with the lookahead fast path enabled
+//! and disabled, wall-clock time is compared, and the virtual results are
+//! asserted bit-identical (makespan, per-thread clocks, steal counts — the
+//! fast path must be invisible in everything but real time; see
+//! `docs/conductor.md`).
+//!
+//! Usage:
+//!   cargo run --release -p uts-bench --bin conductor_bench
+//!     [--tree m] [--threads 256] [--machine kittyhawk] [--alg distmem]
+//!     [--chunk 8] [--repeats 3] [--out BENCH_conductor.json]
+//!     [--smoke] [--baseline scripts/conductor_baseline.json]
+//!
+//! The default point is the Figure-4 configuration (T-M, 256 threads,
+//! kittyhawk, upc-distmem, k=8). `--smoke` switches to a seconds-scale
+//! configuration (T-S, 64 threads) for CI. With `--baseline`, the measured
+//! fast/slow speedup ratio is compared against the committed baseline and
+//! the process exits non-zero if it regressed by more than 20% — the ratio
+//! is machine-portable, absolute wall-clock is not.
+
+use std::time::Instant;
+
+use pgas::sim::{SimCluster, SimReport};
+use pgas::MachineModel;
+use uts_bench::harness::{arg, flag, machine_by_name, preset_by_name};
+use worksteal::{vars, worker, Algorithm, RunConfig, TaskGen, ThreadResult, UtsGen};
+
+fn alg_by_name(name: &str) -> Algorithm {
+    match name {
+        "sharedmem" => Algorithm::SharedMem,
+        "term" => Algorithm::Term,
+        "rapdif" => Algorithm::TermRapdif,
+        "distmem" => Algorithm::DistMem,
+        "mpi" => Algorithm::MpiWs,
+        "hier" => Algorithm::Hier,
+        "pushing" => Algorithm::Pushing,
+        other => panic!("unknown algorithm '{other}' (sharedmem|term|rapdif|distmem|mpi|hier|pushing)"),
+    }
+}
+
+fn run_once(
+    machine: &MachineModel,
+    threads: usize,
+    gen: &UtsGen,
+    cfg: &RunConfig,
+    lookahead: bool,
+) -> (f64, SimReport<ThreadResult>) {
+    let cluster: SimCluster<<UtsGen as TaskGen>::Task> =
+        SimCluster::new(machine.clone(), threads, vars::space_config()).with_lookahead(lookahead);
+    let t0 = Instant::now();
+    let report = cluster.run(|c| worker(c, gen, cfg));
+    (t0.elapsed().as_secs_f64(), report)
+}
+
+/// Best (minimum) wall-clock over `repeats` runs; virtual results are
+/// identical across repeats by determinism, so any run's report will do.
+fn best_of(
+    machine: &MachineModel,
+    threads: usize,
+    gen: &UtsGen,
+    cfg: &RunConfig,
+    lookahead: bool,
+    repeats: usize,
+) -> (f64, SimReport<ThreadResult>) {
+    let mode = if lookahead { "fast" } else { "slow" };
+    let (mut best_t, mut best_r) = run_once(machine, threads, gen, cfg, lookahead);
+    eprintln!("  {mode} run 1/{repeats}: {best_t:.2}s");
+    for i in 1..repeats {
+        let (t, r) = run_once(machine, threads, gen, cfg, lookahead);
+        eprintln!("  {mode} run {}/{repeats}: {t:.2}s", i + 1);
+        if t < best_t {
+            best_t = t;
+            best_r = r;
+        }
+    }
+    (best_t, best_r)
+}
+
+/// Extract `"key": <number>` from a minimal JSON text (the files this tool
+/// writes); no JSON dependency needed offline.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let smoke = flag("--smoke");
+    let tree: String = arg("--tree", if smoke { "s" } else { "m" }.to_string());
+    let threads: usize = arg("--threads", if smoke { 64 } else { 256 });
+    let machine_name: String = arg("--machine", "kittyhawk".to_string());
+    let alg_name: String = arg("--alg", "distmem".to_string());
+    let chunk: usize = arg("--chunk", 8);
+    let repeats: usize = arg("--repeats", if smoke { 3 } else { 1 });
+    let out: String = arg("--out", "BENCH_conductor.json".to_string());
+    let baseline: String = arg("--baseline", String::new());
+
+    let machine = machine_by_name(&machine_name);
+    let preset = preset_by_name(&tree);
+    let gen = UtsGen::new(preset.spec);
+    let alg = alg_by_name(&alg_name);
+    let cfg = RunConfig::new(alg, chunk);
+
+    println!(
+        "conductor bench: {} on {}, tree {} ({} nodes), {} threads, k={}, {} repeat(s)",
+        alg.label(),
+        machine.name,
+        preset.name,
+        preset.expected.nodes,
+        threads,
+        chunk,
+        repeats
+    );
+
+    let (t_fast, fast) = best_of(&machine, threads, &gen, &cfg, true, repeats);
+    let (t_slow, slow) = best_of(&machine, threads, &gen, &cfg, false, repeats);
+
+    // The whole contract: lookahead must change real time only.
+    assert_eq!(
+        fast.makespan_ns, slow.makespan_ns,
+        "virtual makespan diverged between conductor modes"
+    );
+    assert_eq!(fast.clocks, slow.clocks, "virtual clocks diverged");
+    assert_eq!(fast.stats, slow.stats, "comm stats diverged");
+    let steals: u64 = fast.results.iter().map(|r| r.steals_ok).sum();
+    let steals_slow: u64 = slow.results.iter().map(|r| r.steals_ok).sum();
+    assert_eq!(steals, steals_slow, "steal counts diverged");
+    let nodes: u64 = fast.results.iter().map(|r| r.nodes).sum();
+    assert_eq!(nodes, preset.expected.nodes, "node conservation violated");
+
+    let cond = fast.total_conductor();
+    let total = fast.total_stats();
+    println!(
+        "  op mix: {} polls, {} gets, {} puts, {} atomics, {} lock-ops, {} bulk, {} msg-ops",
+        total.polls,
+        total.gets,
+        total.puts,
+        total.atomics,
+        total.lock_acquires + total.lock_failures + total.unlocks,
+        total.bulk_ops,
+        total.msgs_sent + total.msgs_received,
+    );
+    let speedup = t_slow / t_fast;
+    println!(
+        "  wall-clock: fast {t_fast:.2}s, slow {t_slow:.2}s -> speedup {speedup:.2}x"
+    );
+    println!(
+        "  conductor: {} ops, {:.1}% on the fast path, {} baton handoffs",
+        cond.total_ops(),
+        100.0 * cond.fast_fraction(),
+        cond.handoffs,
+    );
+
+    let json = format!(
+        "{{\n  \"machine\": \"{}\",\n  \"tree\": \"{}\",\n  \"threads\": {},\n  \"algorithm\": \"{}\",\n  \"chunk\": {},\n  \"nodes\": {},\n  \"t_virtual_s\": {},\n  \"steals\": {},\n  \"t_fast_s\": {},\n  \"t_slow_s\": {},\n  \"speedup_fast_over_slow\": {},\n  \"conductor_ops\": {},\n  \"fast_fraction\": {}\n}}\n",
+        machine.name,
+        preset.name,
+        threads,
+        alg.label(),
+        chunk,
+        nodes,
+        fast.makespan_ns as f64 / 1e9,
+        steals,
+        t_fast,
+        t_slow,
+        speedup,
+        cond.total_ops(),
+        cond.fast_fraction(),
+    );
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("warn: cannot write {out}: {e}"),
+    }
+
+    if !baseline.is_empty() {
+        let text = std::fs::read_to_string(&baseline)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline}: {e}"));
+        let expected = json_number(&text, "speedup_fast_over_slow")
+            .unwrap_or_else(|| panic!("no speedup_fast_over_slow in {baseline}"));
+        let floor = expected * 0.8;
+        println!(
+            "  baseline speedup {expected:.2}x; regression floor {floor:.2}x; measured {speedup:.2}x"
+        );
+        if speedup < floor {
+            eprintln!(
+                "FAIL: conductor fast-path speedup regressed more than 20% \
+                 ({speedup:.2}x < {floor:.2}x; baseline {expected:.2}x from {baseline})"
+            );
+            std::process::exit(1);
+        }
+        println!("  baseline check passed");
+    }
+}

@@ -84,6 +84,10 @@ pub struct RunConfig {
     /// steals, releases) for post-run analysis. Off by default: tracing
     /// allocates.
     pub trace: bool,
+    /// Enable the simulator conductor's lookahead fast path (on by default).
+    /// Purely a harness-speed knob: virtual-time results are bit-identical
+    /// either way (see `docs/conductor.md`). Ignored by the native backend.
+    pub sim_lookahead: bool,
 }
 
 impl RunConfig {
@@ -96,6 +100,7 @@ impl RunConfig {
             poll_interval: 8,
             seed: 0x5EED_CAFE,
             trace: false,
+            sim_lookahead: true,
         }
     }
 }

@@ -64,7 +64,8 @@ where
     G: TaskGen,
 {
     let machine_name = machine.name;
-    let cluster: SimCluster<G::Task> = SimCluster::new(machine, nthreads, vars::space_config());
+    let cluster: SimCluster<G::Task> = SimCluster::new(machine, nthreads, vars::space_config())
+        .with_lookahead(cfg.sim_lookahead);
     let report = cluster.run(|comm| worker(comm, gen, cfg));
     assemble(
         cfg,

@@ -51,6 +51,6 @@ pub mod trace;
 pub mod vars;
 
 pub use config::{Algorithm, RunConfig};
-pub use engine::{run_native, run_sim, seq_run};
+pub use engine::{run_native, run_sim, seq_run, worker};
 pub use report::{RunReport, ThreadResult};
 pub use taskgen::{SyntheticGen, TaskGen, UtsGen};

@@ -8,7 +8,7 @@ use crate::state::{N_STATES, State};
 use crate::trace::{diffusion, Diffusion, Event, StealMatrix};
 
 /// What one worker thread did.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ThreadResult {
     /// Tree nodes this thread explored.
     pub nodes: u64,

@@ -26,6 +26,72 @@ use crate::stats::CommStats;
 pub trait Item: Copy + Send + Sync + Default + 'static {}
 impl<X: Copy + Send + Sync + Default + 'static> Item for X {}
 
+/// Cost/scheduling classification of a [`Comm`] operation.
+///
+/// Every operation the simulator conducts falls into one of these families;
+/// the family determines which [`MachineModel`] constant prices it and lets
+/// the conductor report *what kind* of traffic dominated a run (the
+/// [`crate::stats::ConductorStats`] fast-path histogram). The dominant class
+/// in the paper's workloads is `Poll`/`Scalar`: spin loops probing local
+/// request/response cells.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// `poll()` progress hooks (`bupc_poll()`).
+    Poll,
+    /// Small one-sided scalar reads/writes, including area-length and
+    /// area-truncate bookkeeping references.
+    Scalar,
+    /// Atomic read-modify-write (compare-and-swap, fetch-add).
+    Atomic,
+    /// Lock acquire/release traffic.
+    Lock,
+    /// Bulk one-sided area transfers (`upc_memget`/`upc_memput`).
+    Bulk,
+    /// Message sends, mailbox probes, and receives.
+    Message,
+}
+
+impl OpClass {
+    /// Number of distinct classes (array-index bound for histograms).
+    pub const COUNT: usize = 6;
+
+    /// All classes, in histogram index order.
+    pub fn all() -> [OpClass; OpClass::COUNT] {
+        [
+            OpClass::Poll,
+            OpClass::Scalar,
+            OpClass::Atomic,
+            OpClass::Lock,
+            OpClass::Bulk,
+            OpClass::Message,
+        ]
+    }
+
+    /// Stable histogram index of this class.
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::Poll => 0,
+            OpClass::Scalar => 1,
+            OpClass::Atomic => 2,
+            OpClass::Lock => 3,
+            OpClass::Bulk => 4,
+            OpClass::Message => 5,
+        }
+    }
+
+    /// Human-readable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Poll => "poll",
+            OpClass::Scalar => "scalar",
+            OpClass::Atomic => "atomic",
+            OpClass::Lock => "lock",
+            OpClass::Bulk => "bulk",
+            OpClass::Message => "message",
+        }
+    }
+}
+
 /// Shape of each thread's partition of the global space.
 #[derive(Clone, Copy, Debug)]
 pub struct SpaceConfig {

@@ -8,9 +8,9 @@
 //! This crate reproduces those semantics behind the [`Comm`] trait, with two
 //! interchangeable backends:
 //!
-//! - [`native`]: real OS threads on real shared memory (atomics +
-//!   `parking_lot` locks). This is the paper's *shared memory* setting
-//!   (§4.3): communication is as fast as the machine's cache coherence.
+//! - [`native`]: real OS threads on real shared memory (atomics + mutexes).
+//!   This is the paper's *shared memory* setting (§4.3): communication is as
+//!   fast as the machine's cache coherence.
 //! - [`sim`]: a deterministic **virtual-time** executor. Every simulated UPC
 //!   thread is an OS thread, but exactly one runs at a time and threads are
 //!   scheduled in global virtual-clock order, so execution is sequentially
@@ -18,7 +18,9 @@
 //!   advances the issuing thread's clock by a cost taken from a
 //!   [`MachineModel`]; this reproduces the paper's *distributed memory*
 //!   setting (§4.2) — 2008-era Infiniband latencies, hundreds-to-thousands
-//!   of threads — on a single host.
+//!   of threads — on a single host. A lookahead fast path keeps the
+//!   scheduling overhead off the simulation's hot loops without changing a
+//!   single virtual result (see `docs/conductor.md`).
 //!
 //! The global space itself is deliberately simple, shaped by what the
 //! paper's five load balancers need:
@@ -44,6 +46,8 @@
 //! assert_eq!(report.final_scalar(0, 0), 4);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod collectives;
 pub mod comm;
 pub mod machine;
@@ -53,7 +57,7 @@ pub mod sim;
 pub mod stats;
 
 pub use collectives::Collectives;
-pub use comm::{Comm, SpaceConfig};
+pub use comm::{Comm, OpClass, SpaceConfig};
 pub use machine::{Distance, MachineModel};
 pub use msg::Msg;
-pub use stats::CommStats;
+pub use stats::{CommStats, ConductorStats};

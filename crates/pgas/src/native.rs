@@ -13,11 +13,8 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
-
-use crossbeam::utils::CachePadded;
-use parking_lot::Mutex;
 
 use crate::comm::{Comm, Item, SpaceConfig};
 use crate::machine::MachineModel;
@@ -52,6 +49,25 @@ impl<R> NativeReport<R> {
             acc.merge(s);
         }
         acc
+    }
+}
+
+/// Pads each scalar/lock cell to its own cache line so cross-thread atomics
+/// on neighbouring cells do not false-share (what `crossbeam::utils::CachePadded`
+/// provides; inlined here to keep the workspace dependency-free).
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+impl<T> CachePadded<T> {
+    fn new(v: T) -> CachePadded<T> {
+        CachePadded(v)
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
     }
 }
 
@@ -112,14 +128,13 @@ impl<T: Item> NativeCluster<T> {
         let n = self.nthreads;
         let start = Instant::now();
         let mut results: Vec<Option<(R, CommStats, u64)>> = (0..n).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (tid, slot) in results.iter_mut().enumerate() {
                 let f = &f;
                 let space = Arc::clone(&self.space);
-                scope
-                    .builder()
+                std::thread::Builder::new()
                     .name(format!("upc-{tid}"))
-                    .spawn(move |_| {
+                    .spawn_scoped(scope, move || {
                         let mut comm = NativeComm {
                             space,
                             tid,
@@ -131,8 +146,7 @@ impl<T: Item> NativeCluster<T> {
                     })
                     .expect("spawn native thread");
             }
-        })
-        .expect("native scope");
+        });
 
         let makespan_ns = start.elapsed().as_nanos() as u64;
         let mut out_results = Vec::with_capacity(n);
@@ -266,13 +280,13 @@ impl<T: Item> Comm<T> for NativeComm<T> {
 
     fn area_len(&mut self, thread: usize) -> usize {
         self.stats.gets += 1;
-        self.space.partitions[thread].area.lock().len()
+        self.space.partitions[thread].area.lock().unwrap().len()
     }
 
     fn area_read(&mut self, thread: usize, offset: usize, len: usize, dst: &mut Vec<T>) {
         self.stats.bulk_ops += 1;
         self.stats.bulk_items += len as u64;
-        let area = self.space.partitions[thread].area.lock();
+        let area = self.space.partitions[thread].area.lock().unwrap();
         assert!(
             offset + len <= area.len(),
             "area_read out of range: {}..{} of {}",
@@ -286,7 +300,7 @@ impl<T: Item> Comm<T> for NativeComm<T> {
     fn area_write(&mut self, thread: usize, offset: usize, src: &[T]) {
         self.stats.bulk_ops += 1;
         self.stats.bulk_items += src.len() as u64;
-        let mut area = self.space.partitions[thread].area.lock();
+        let mut area = self.space.partitions[thread].area.lock().unwrap();
         if area.len() < offset + src.len() {
             area.resize(offset + src.len(), T::default());
         }
@@ -295,7 +309,7 @@ impl<T: Item> Comm<T> for NativeComm<T> {
 
     fn area_truncate(&mut self, thread: usize, len: usize) {
         self.stats.puts += 1;
-        let mut area = self.space.partitions[thread].area.lock();
+        let mut area = self.space.partitions[thread].area.lock().unwrap();
         assert!(len <= area.len(), "truncate beyond area length");
         area.truncate(len);
     }
@@ -309,17 +323,17 @@ impl<T: Item> Comm<T> for NativeComm<T> {
             meta,
             payload: payload.to_vec(),
         };
-        self.space.partitions[dst].mailbox.lock().push_back(msg);
+        self.space.partitions[dst].mailbox.lock().unwrap().push_back(msg);
     }
 
     fn has_msg(&mut self, tag: Option<i64>) -> bool {
         self.stats.gets += 1;
-        let mb = self.space.partitions[self.tid].mailbox.lock();
+        let mb = self.space.partitions[self.tid].mailbox.lock().unwrap();
         mb.iter().any(|m| tag.is_none_or(|t| m.tag == t))
     }
 
     fn try_recv(&mut self, tag: Option<i64>) -> Option<Msg<T>> {
-        let mut mb = self.space.partitions[self.tid].mailbox.lock();
+        let mut mb = self.space.partitions[self.tid].mailbox.lock().unwrap();
         let idx = mb.iter().position(|m| tag.is_none_or(|t| m.tag == t))?;
         let msg = mb.remove(idx);
         if msg.is_some() {

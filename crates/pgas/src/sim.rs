@@ -1,13 +1,13 @@
 //! Deterministic virtual-time backend.
 //!
-//! Each simulated UPC thread is an OS thread, but a **conductor** admits
-//! exactly one at a time: whenever a thread issues a [`Comm`] operation it
-//! (a) advances its own virtual clock by the operation's cost under the
-//! active [`MachineModel`], (b) enqueues itself, and (c) hands the baton to
-//! the thread with the globally smallest virtual clock. Memory effects are
-//! applied at baton-holding time, so the simulated execution is sequentially
-//! consistent *in virtual time* and bit-for-bit reproducible — ties are
-//! broken by thread id.
+//! Each simulated UPC thread runs real worker code, but a **conductor**
+//! admits exactly one at a time: whenever a thread issues a [`Comm`]
+//! operation it (a) advances its own virtual clock by the operation's cost
+//! under the active [`MachineModel`], (b) enqueues itself, and (c) hands the
+//! baton to the thread with the globally smallest virtual clock. Memory
+//! effects are applied at baton-holding time, so the simulated execution is
+//! sequentially consistent *in virtual time* and bit-for-bit reproducible —
+//! ties are broken by thread id.
 //!
 //! Pure computation (`work()`) accumulates locally without a baton exchange;
 //! it is folded into the clock at the next operation. This keeps the
@@ -15,20 +15,62 @@
 //! pays for scheduling, mirroring how only communication pays latency on a
 //! real cluster.
 //!
+//! # Two conductors, one schedule
+//!
+//! The scheduling decision — "pop the least `(clock, tid)` key" — is shared
+//! by two interchangeable execution substrates (see `docs/conductor.md`):
+//!
+//! - **Slow / reference mode** ([`SimCluster::with_lookahead`]`(false)`):
+//!   every simulated thread is an OS thread parked on its own [`Condvar`];
+//!   each operation publishes the thread's clock under a global [`Mutex`] and
+//!   hands the baton with a condvar signal. One kernel wake per operation —
+//!   simple, obviously correct, and the baseline the equivalence tests and
+//!   `conductor_bench` diff against.
+//! - **Fast mode** (the default, on x86-64): every simulated thread is a
+//!   *fiber* — a user-level stack on a single OS thread. Since the conductor
+//!   admits exactly one thread at a time anyway, nothing is lost by giving
+//!   up kernel parallelism, and a baton handoff shrinks from a mutex +
+//!   condvar + scheduler round-trip (microseconds) to a ~15-instruction
+//!   stack switch (nanoseconds). On other architectures fast mode falls back
+//!   to the OS-thread conductor with the lookahead window below.
+//!
+//! # Lookahead fast path
+//!
+//! Even a fiber switch plus a heap push/pop is wasted motion when the
+//! conductor would hand the baton straight back: the running thread is so
+//! far *behind* every queued thread that after paying its next operation's
+//! cost it is still the earliest. Each time a thread acquires the baton it
+//! caches the smallest `(clock, tid)` key left in the queue (`next_min`);
+//! the queue cannot change while the thread runs, because every other
+//! thread is parked in the conductor. If the thread's advanced clock still
+//! precedes `next_min` (lexicographically, so ties keep breaking by thread
+//! id), it keeps the baton and applies the memory effect directly — no
+//! scheduler entry at all. A spinning probe loop that is behind in virtual
+//! time therefore burns its whole probe cycle without a single handoff.
+//! The schedule, and therefore every virtual time, steal count, and memory
+//! state, is bit-for-bit identical either way; only the real-time cost of
+//! *computing* the schedule changes. See `docs/conductor.md` for the
+//! invariant argument; the equivalence tests diff the two modes.
+//!
 //! This is how the paper's 256-1024-thread cluster experiments (§4.2) run on
 //! a single host: the virtual makespan plays the role of measured wall-clock
 //! time.
 
-use std::collections::{BTreeMap, BinaryHeap};
+use std::cell::UnsafeCell;
 use std::cmp::Reverse;
-use std::sync::Arc;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::{Arc, Condvar, Mutex};
 
-use parking_lot::{Condvar, Mutex};
-
-use crate::comm::{Comm, Item, SpaceConfig};
+use crate::comm::{Comm, Item, OpClass, SpaceConfig};
 use crate::machine::MachineModel;
 use crate::msg::Msg;
-use crate::stats::CommStats;
+use crate::stats::{CommStats, ConductorStats};
+
+/// Stack size for each simulated thread (OS thread or fiber). Workers use
+/// explicit DFS stacks, so half a megabyte is plenty even for panic
+/// formatting. Fiber stacks have no guard page; overflowing one is UB, which
+/// is why this matches the generous size the OS-thread mode always used.
+const SIM_STACK_SIZE: usize = 512 * 1024;
 
 /// Everything a run produces.
 #[derive(Debug)]
@@ -42,6 +84,9 @@ pub struct SimReport<R> {
     pub clocks: Vec<u64>,
     /// Per-thread communication statistics.
     pub stats: Vec<CommStats>,
+    /// Per-thread conductor (harness) statistics: fast-path vs handoff
+    /// scheduling counts. Describes the simulator, not the modelled machine.
+    pub conductor: Vec<ConductorStats>,
     /// Final contents of every thread's scalar cells (for assertions).
     pub scalars: Vec<Vec<i64>>,
 }
@@ -60,9 +105,24 @@ impl<R> SimReport<R> {
         }
         acc
     }
+
+    /// Aggregate conductor statistics over all threads.
+    pub fn total_conductor(&self) -> ConductorStats {
+        let mut acc = ConductorStats::default();
+        for s in &self.conductor {
+            acc.merge(s);
+        }
+        acc
+    }
 }
 
-/// The global memory image (guarded by the conductor mutex).
+/// The global memory image.
+///
+/// Only ever touched by the thread currently holding the baton. In fiber
+/// mode that is trivially single-threaded; in OS-thread mode it lives in an
+/// [`UnsafeCell`] next to (not inside) the conductor mutex, and handoffs
+/// through the mutex provide the happens-before edges that publish one
+/// holder's writes to the next.
 struct Mem<T> {
     scalars: Vec<Vec<i64>>,
     locks: Vec<Vec<bool>>,
@@ -72,7 +132,23 @@ struct Mem<T> {
     send_seq: u64,
 }
 
-struct Inner<T> {
+impl<T: Item> Mem<T> {
+    fn new(nthreads: usize, cfg: &SpaceConfig) -> Self {
+        Mem {
+            scalars: vec![vec![0i64; cfg.scalars]; nthreads],
+            locks: vec![vec![false; cfg.locks]; nthreads],
+            areas: (0..nthreads).map(|_| Vec::new()).collect(),
+            mailboxes: (0..nthreads).map(|_| BTreeMap::new()).collect(),
+            send_seq: 0,
+        }
+    }
+}
+
+/// Scheduling state of the OS-thread conductor (guarded by the mutex).
+struct Inner {
+    /// Last clock each thread *published* (at registration, slow-path ops,
+    /// and retirement). May lag the thread's private clock while it runs on
+    /// the fast path; authoritative again once the thread parks or retires.
     clocks: Vec<u64>,
     /// Threads waiting for the baton, keyed by (virtual clock, tid).
     queue: BinaryHeap<Reverse<(u64, usize)>>,
@@ -82,52 +158,227 @@ struct Inner<T> {
     started: usize,
     /// Threads that have retired.
     retired: usize,
-    mem: Mem<T>,
     /// Stats deposited by retired threads.
     final_stats: Vec<Option<CommStats>>,
+    /// Conductor stats deposited by retired threads.
+    final_conductor: Vec<Option<ConductorStats>>,
 }
 
+/// Shared state of the OS-thread conductor.
 struct Shared<T> {
-    mx: Mutex<Inner<T>>,
+    mx: Mutex<Inner>,
     cvs: Vec<Condvar>,
+    mem: UnsafeCell<Mem<T>>,
     nthreads: usize,
     machine: MachineModel,
+    lookahead: bool,
+}
+
+// SAFETY: `mem` is only accessed by the baton holder. The conductor admits
+// exactly one holder at a time (every other thread is parked on its condvar
+// inside `op()`/`register()`), and baton transfer happens through `mx`, whose
+// lock/unlock establishes happens-before between consecutive holders'
+// accesses. All other fields are `Sync` on their own.
+unsafe impl<T: Item> Sync for Shared<T> {}
+
+/// User-level context switching for the fiber conductor: x86-64 System V.
+///
+/// `__pgas_fiber_switch(save, load)` stores the callee-saved register state
+/// on the current stack, records the resulting stack pointer at `*save`,
+/// installs `load` as the stack pointer, and restores the state found there —
+/// either a frame a previous `__pgas_fiber_switch` call saved, or the
+/// synthetic initial frame built by [`fiber::init_stack`], whose "return
+/// address" is `__pgas_fiber_start`. The start shim moves the planted
+/// argument (r12) into place and calls the planted entry function (r13).
+///
+/// Only the SysV callee-saved GPRs are switched. The x87/SSE control words
+/// are callee-saved too but never modified by this crate or its workers, so
+/// they are deliberately not saved on this hot path.
+#[cfg(target_arch = "x86_64")]
+mod fiber {
+    use std::arch::global_asm;
+
+    global_asm!(
+        ".global __pgas_fiber_switch",
+        "__pgas_fiber_switch:",
+        "push rbp",
+        "push rbx",
+        "push r12",
+        "push r13",
+        "push r14",
+        "push r15",
+        "mov [rdi], rsp",
+        "mov rsp, rsi",
+        "pop r15",
+        "pop r14",
+        "pop r13",
+        "pop r12",
+        "pop rbx",
+        "pop rbp",
+        "ret",
+        ".global __pgas_fiber_start",
+        "__pgas_fiber_start:",
+        "mov rdi, r12",
+        "call r13",
+        "ud2",
+    );
+
+    extern "C" {
+        fn __pgas_fiber_switch(save: *mut usize, load: usize);
+        fn __pgas_fiber_start();
+    }
+
+    /// Suspend the current context into `*save` and resume the context whose
+    /// stack pointer is `load`.
+    ///
+    /// # Safety
+    /// `load` must be a stack pointer previously produced by [`init_stack`]
+    /// or stored through the `save` argument of an earlier `switch`, on a
+    /// stack that is still allocated, and each saved context may be resumed
+    /// at most once.
+    pub unsafe fn switch(save: *mut usize, load: usize) {
+        __pgas_fiber_switch(save, load);
+    }
+
+    /// Build the initial context frame for a fiber on `stack`, so that the
+    /// first [`switch`] into it calls `entry(arg)`. `entry` must never
+    /// return (it must `switch` away for the last time instead).
+    pub unsafe fn init_stack(stack: &mut [u8], entry: extern "C" fn(usize) -> !, arg: usize) -> usize {
+        // 16-align the top, then plant (low → high): r15 r14 r13 r12 rbx rbp
+        // retaddr pad pad. After six pops and the `ret`, execution is at
+        // `__pgas_fiber_start` with rsp ≡ 0 (mod 16), so its `call` leaves
+        // the entry function with the ABI-required rsp ≡ 8 (mod 16).
+        let top = (stack.as_mut_ptr() as usize + stack.len()) & !15;
+        let rsp = top - 72;
+        let p = rsp as *mut usize;
+        p.add(0).write(0); // r15
+        p.add(1).write(0); // r14
+        p.add(2).write(entry as usize); // r13: entry function
+        p.add(3).write(arg); // r12: entry argument
+        p.add(4).write(0); // rbx
+        p.add(5).write(0); // rbp
+        p.add(6).write(__pgas_fiber_start as *const () as usize); // return address
+        p.add(7).write(0); // fake caller frame
+        p.add(8).write(0);
+        rsp
+    }
+}
+
+/// Shared state of the fiber conductor. Everything runs on one OS thread, so
+/// no synchronization exists at all: fibers reach it through a raw pointer
+/// and exactly one fiber (or the host) is live at any instant.
+#[cfg(target_arch = "x86_64")]
+struct FiberHub<T: Item> {
+    machine: MachineModel,
+    nthreads: usize,
+    clocks: Vec<u64>,
+    queue: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Saved stack pointer of each suspended fiber.
+    rsps: Vec<usize>,
+    /// Saved stack pointer of the host (resumed when the last fiber retires).
+    host_rsp: usize,
+    mem: Mem<T>,
+    final_stats: Vec<Option<CommStats>>,
+    final_conductor: Vec<Option<ConductorStats>>,
+}
+
+/// Per-fiber launch record; lives in a host-owned Vec with a stable address.
+#[cfg(target_arch = "x86_64")]
+struct LaunchCtx<T: Item, R, F> {
+    hub: *mut FiberHub<T>,
+    tid: usize,
+    f: *const F,
+    result: *mut Option<R>,
+    panic: *mut Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Fiber body: run the worker, deposit results, hand the baton on, vanish.
+#[cfg(target_arch = "x86_64")]
+extern "C" fn fiber_entry<T, R, F>(arg: usize) -> !
+where
+    T: Item,
+    F: Fn(&mut SimComm<T>) -> R,
+{
+    let ctx = unsafe { &*(arg as *const LaunchCtx<T, R, F>) };
+    let hub = ctx.hub;
+    // Being switched to for the first time *is* the first baton grant (the
+    // host queued every fiber at (0, tid) before starting the earliest), so
+    // cache the queue minimum exactly as the OS-thread register() does.
+    let mut comm = SimComm {
+        backend: Backend::Fiber(hub),
+        tid: ctx.tid,
+        nthreads: unsafe { (*hub).nthreads },
+        lookahead: true,
+        local_clock: 0,
+        pending_work: 0,
+        next_min: unsafe { (*hub).queue.peek().map(|r| r.0) },
+        stats: CommStats::default(),
+        conductor: ConductorStats::default(),
+    };
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let f = unsafe { &*ctx.f };
+        f(&mut comm)
+    }));
+    // Retire: fold trailing work, publish, and hand the baton on even if the
+    // worker panicked, so the other simulated threads are not left suspended.
+    comm.local_clock += comm.pending_work;
+    let save;
+    let load;
+    unsafe {
+        let h = &mut *hub;
+        h.clocks[ctx.tid] = comm.local_clock;
+        h.final_stats[ctx.tid] = Some(comm.stats.clone());
+        h.final_conductor[ctx.tid] = Some(comm.conductor.clone());
+        match res {
+            Ok(r) => *ctx.result = Some(r),
+            Err(p) => *ctx.panic = Some(p),
+        }
+        save = &mut h.rsps[ctx.tid] as *mut usize;
+        load = match h.queue.pop() {
+            Some(Reverse((_, next))) => h.rsps[next],
+            None => h.host_rsp, // last one out resumes the host
+        };
+    }
+    unsafe { fiber::switch(save, load) };
+    unreachable!("retired simulated thread resumed");
 }
 
 /// A virtual cluster: construct, then [`SimCluster::run`] a worker closure on
 /// every simulated thread.
 pub struct SimCluster<T: Item> {
-    shared: Arc<Shared<T>>,
+    machine: MachineModel,
+    nthreads: usize,
+    cfg: SpaceConfig,
+    lookahead: bool,
+    _marker: std::marker::PhantomData<T>,
 }
 
 impl<T: Item> SimCluster<T> {
     /// Create a cluster of `nthreads` simulated UPC threads over `machine`.
+    ///
+    /// The fast conductor (fibers + lookahead) is enabled by default; see
+    /// [`SimCluster::with_lookahead`].
     pub fn new(machine: MachineModel, nthreads: usize, cfg: SpaceConfig) -> Self {
         assert!(nthreads > 0, "need at least one thread");
-        let mem = Mem {
-            scalars: vec![vec![0i64; cfg.scalars]; nthreads],
-            locks: vec![vec![false; cfg.locks]; nthreads],
-            areas: (0..nthreads).map(|_| Vec::new()).collect(),
-            mailboxes: (0..nthreads).map(|_| BTreeMap::new()).collect(),
-            send_seq: 0,
-        };
-        let inner = Inner {
-            clocks: vec![0; nthreads],
-            queue: BinaryHeap::with_capacity(nthreads),
-            chosen: None,
-            started: 0,
-            retired: 0,
-            mem,
-            final_stats: vec![None; nthreads],
-        };
         SimCluster {
-            shared: Arc::new(Shared {
-                mx: Mutex::new(inner),
-                cvs: (0..nthreads).map(|_| Condvar::new()).collect(),
-                nthreads,
-                machine,
-            }),
+            machine,
+            nthreads,
+            cfg,
+            lookahead: true,
+            _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Enable or disable the fast conductor (on by default).
+    ///
+    /// Both modes produce bit-identical virtual results; disabling selects
+    /// the reference conductor — one OS thread per simulated thread, every
+    /// clock advance published under the mutex, one condvar handoff per
+    /// operation — which the equivalence tests and `conductor_bench` use as
+    /// the baseline schedule.
+    pub fn with_lookahead(mut self, enabled: bool) -> Self {
+        self.lookahead = enabled;
+        self
     }
 
     /// Run `f` on every simulated thread and collect the report.
@@ -139,19 +390,129 @@ impl<T: Item> SimCluster<T> {
         R: Send,
         F: Fn(&mut SimComm<T>) -> R + Sync,
     {
-        let shared = &self.shared;
-        let n = shared.nthreads;
+        #[cfg(target_arch = "x86_64")]
+        if self.lookahead {
+            return self.run_fibers(&f);
+        }
+        self.run_threads(&f)
+    }
+
+    /// Fast mode: all simulated threads as fibers on this OS thread. A
+    /// handoff is a user-level stack switch; the lookahead window skips even
+    /// that when the runner stays globally earliest.
+    #[cfg(target_arch = "x86_64")]
+    fn run_fibers<R, F>(self, f: &F) -> SimReport<R>
+    where
+        R: Send,
+        F: Fn(&mut SimComm<T>) -> R + Sync,
+    {
+        let n = self.nthreads;
+        let mut hub = FiberHub {
+            machine: self.machine,
+            nthreads: n,
+            clocks: vec![0; n],
+            queue: (0..n).map(|tid| Reverse((0u64, tid))).collect(),
+            rsps: vec![0; n],
+            host_rsp: 0,
+            mem: Mem::new(n, &self.cfg),
+            final_stats: vec![None; n],
+            final_conductor: vec![None; n],
+        };
+        let hub_ptr: *mut FiberHub<T> = &mut hub;
+
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        let mut panics: Vec<Option<Box<dyn std::any::Any + Send>>> = (0..n).map(|_| None).collect();
+        // Zeroed so fresh pages come from the kernel lazily; fibers only
+        // touch what they use.
+        let mut stacks: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; SIM_STACK_SIZE]).collect();
+
+        let ctxs: Vec<LaunchCtx<T, R, F>> = (0..n)
+            .map(|tid| LaunchCtx {
+                hub: hub_ptr,
+                tid,
+                f,
+                result: &mut results[tid],
+                panic: &mut panics[tid],
+            })
+            .collect();
+        for (tid, stack) in stacks.iter_mut().enumerate() {
+            // SAFETY: fresh stack, entry never returns (it switches away for
+            // good at retirement), ctxs outlives every fiber.
+            hub.rsps[tid] = unsafe {
+                fiber::init_stack(
+                    stack,
+                    fiber_entry::<T, R, F>,
+                    &ctxs[tid] as *const _ as usize,
+                )
+            };
+        }
+
+        // Start the earliest fiber; we are resumed when the last one retires.
+        let Reverse((_, first)) = hub.queue.pop().expect("nonempty cluster");
+        let save: *mut usize = &mut hub.host_rsp;
+        let load = hub.rsps[first];
+        // SAFETY: `load` is fiber `first`'s freshly initialized context, and
+        // the retirement chain resumes `save` exactly once.
+        unsafe { fiber::switch(save, load) };
+
+        if let Some(p) = panics.into_iter().flatten().next() {
+            std::panic::resume_unwind(p);
+        }
+        let makespan_ns = hub.clocks.iter().copied().max().unwrap_or(0);
+        SimReport {
+            results: results.into_iter().map(|r| r.expect("thread result")).collect(),
+            makespan_ns,
+            clocks: hub.clocks,
+            stats: hub
+                .final_stats
+                .into_iter()
+                .map(|s| s.expect("retired stats"))
+                .collect(),
+            conductor: hub
+                .final_conductor
+                .into_iter()
+                .map(|s| s.expect("retired conductor stats"))
+                .collect(),
+            scalars: hub.mem.scalars,
+        }
+    }
+
+    /// Reference mode: one OS thread per simulated thread, condvar handoffs.
+    fn run_threads<R, F>(self, f: &F) -> SimReport<R>
+    where
+        R: Send,
+        F: Fn(&mut SimComm<T>) -> R + Sync,
+    {
+        let n = self.nthreads;
+        let shared = Arc::new(Shared {
+            mx: Mutex::new(Inner {
+                clocks: vec![0; n],
+                queue: BinaryHeap::with_capacity(n),
+                chosen: None,
+                started: 0,
+                retired: 0,
+                final_stats: vec![None; n],
+                final_conductor: vec![None; n],
+            }),
+            cvs: (0..n).map(|_| Condvar::new()).collect(),
+            mem: UnsafeCell::new(Mem::new(n, &self.cfg)),
+            nthreads: n,
+            machine: self.machine,
+            lookahead: self.lookahead,
+        });
+
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (tid, slot) in results.iter_mut().enumerate() {
-                let f = &f;
-                let shared = Arc::clone(shared);
-                let builder = scope.builder().stack_size(512 * 1024).name(format!("sim-{tid}"));
+                let shared = Arc::clone(&shared);
+                let builder = std::thread::Builder::new()
+                    .stack_size(SIM_STACK_SIZE)
+                    .name(format!("sim-{tid}"));
                 handles.push(
                     builder
-                        .spawn(move |_| {
-                            let mut comm = SimComm::new(shared, tid);
+                        .spawn_scoped(scope, move || {
+                            let mut comm = SimComm::new_threaded(shared, tid);
                             comm.register();
                             // Hand the baton onward even if the worker
                             // panics, so the other simulated threads are not
@@ -171,10 +532,12 @@ impl<T: Item> SimCluster<T> {
             for h in handles {
                 h.join().expect("simulated thread panicked");
             }
-        })
-        .expect("simulation scope");
+        });
 
-        let inner = self.shared.mx.lock();
+        let inner = shared.mx.lock().unwrap();
+        // SAFETY: every simulated thread has been joined; this is the only
+        // live access to the memory image.
+        let mem = unsafe { &*shared.mem.get() };
         let makespan_ns = inner.clocks.iter().copied().max().unwrap_or(0);
         SimReport {
             results: results.into_iter().map(|r| r.expect("thread result")).collect(),
@@ -185,35 +548,75 @@ impl<T: Item> SimCluster<T> {
                 .iter()
                 .map(|s| s.clone().expect("retired stats"))
                 .collect(),
-            scalars: inner.mem.scalars.clone(),
+            conductor: inner
+                .final_conductor
+                .iter()
+                .map(|s| s.clone().expect("retired conductor stats"))
+                .collect(),
+            scalars: mem.scalars.clone(),
         }
     }
 }
+
+/// Which conductor this handle talks to.
+enum Backend<T: Item> {
+    /// OS-thread conductor (reference mode, and non-x86-64 fast mode).
+    Threads(Arc<Shared<T>>),
+    /// Fiber conductor: raw pointer to the hub on the host's stack frame,
+    /// which outlives every fiber.
+    #[cfg(target_arch = "x86_64")]
+    Fiber(*mut FiberHub<T>),
+}
+
+// SAFETY: required by the `Comm: Send` supertrait. In threaded mode the
+// handle is ordinary `Send` data. In fiber mode it holds a raw hub pointer,
+// but the handle is created, used, and abandoned on the single OS thread
+// that owns the hub: workers only ever receive `&mut SimComm` and cannot
+// move the handle out (fields are private and there is no constructor), so
+// it never actually crosses threads.
+unsafe impl<T: Item> Send for SimComm<T> {}
 
 /// Per-thread handle for the simulated cluster. Implements [`Comm`].
 pub struct SimComm<T: Item> {
-    shared: Arc<Shared<T>>,
+    backend: Backend<T>,
     tid: usize,
-    /// Mirror of `clocks[tid]` as of the last conductor interaction.
+    nthreads: usize,
+    lookahead: bool,
+    /// This thread's virtual clock as of its last operation. Authoritative;
+    /// the conductor's `clocks[tid]` is only a published (possibly lagging)
+    /// copy.
     local_clock: u64,
     /// Accumulated `work()` nanoseconds not yet folded into the clock.
     pending_work: u64,
+    /// Smallest `(clock, tid)` key waiting in the conductor queue, cached at
+    /// the moment we last acquired the baton. Exact while we hold the baton:
+    /// only baton-holders push, and we are the unique holder. `None` means
+    /// the queue was empty (every other thread retired or not yet started).
+    next_min: Option<(u64, usize)>,
     stats: CommStats,
+    conductor: ConductorStats,
 }
 
 impl<T: Item> SimComm<T> {
-    fn new(shared: Arc<Shared<T>>, tid: usize) -> Self {
+    fn new_threaded(shared: Arc<Shared<T>>, tid: usize) -> Self {
+        let nthreads = shared.nthreads;
+        let lookahead = shared.lookahead;
         SimComm {
-            shared,
+            backend: Backend::Threads(shared),
             tid,
+            nthreads,
+            lookahead,
             local_clock: 0,
             pending_work: 0,
+            next_min: None,
             stats: CommStats::default(),
+            conductor: ConductorStats::default(),
         }
     }
 
-    /// Hand the baton to the thread with the smallest virtual clock.
-    fn dispatch(inner: &mut Inner<T>, cvs: &[Condvar]) {
+    /// Hand the baton to the thread with the smallest virtual clock
+    /// (OS-thread conductor).
+    fn dispatch(inner: &mut Inner, cvs: &[Condvar]) {
         if let Some(Reverse((_, tid))) = inner.queue.pop() {
             inner.chosen = Some(tid);
             cvs[tid].notify_one();
@@ -222,44 +625,113 @@ impl<T: Item> SimComm<T> {
         }
     }
 
-    /// Enter the scheduled pool and wait for the first baton.
+    /// Enter the scheduled pool and wait for the first baton (OS-thread
+    /// conductor; fibers are pre-queued by the host instead).
     fn register(&mut self) {
-        let mut g = self.shared.mx.lock();
+        let Backend::Threads(ref shared) = self.backend else {
+            unreachable!("register() is only used by the OS-thread conductor");
+        };
+        let mut g = shared.mx.lock().unwrap();
         g.queue.push(Reverse((0, self.tid)));
         g.started += 1;
-        if g.started == self.shared.nthreads {
-            Self::dispatch(&mut g, &self.shared.cvs);
+        if g.started == self.nthreads {
+            Self::dispatch(&mut g, &shared.cvs);
         }
         while g.chosen != Some(self.tid) {
-            self.shared.cvs[self.tid].wait(&mut g);
+            g = shared.cvs[self.tid].wait(g).unwrap();
         }
+        self.next_min = g.queue.peek().map(|r| r.0);
     }
 
-    /// Advance our clock by `cost` (plus pending work), reschedule, and once
-    /// we are the globally earliest thread apply `eff` to the global memory.
-    fn op<R>(&mut self, cost: u64, eff: impl FnOnce(&mut Mem<T>, u64) -> R) -> R {
+    /// Advance our clock by `cost` (plus pending work) and apply `eff` to the
+    /// global memory once we are the globally earliest thread.
+    ///
+    /// Fast path: if even after the advance we still precede the cached
+    /// queue minimum, the conductor would hand the baton straight back to
+    /// us — skip the scheduler entirely and apply `eff` in place. Ops of
+    /// every class have positive cost under all machine models, so a thread
+    /// cannot fast-path forever: its clock strictly grows and eventually
+    /// crosses `next_min`, forcing a real handoff (no starvation).
+    fn op<R>(&mut self, class: OpClass, cost: u64, eff: impl FnOnce(&mut Mem<T>, u64) -> R) -> R {
         self.stats.comm_ns += cost;
-        let mut g = self.shared.mx.lock();
-        let t = g.clocks[self.tid] + self.pending_work + cost;
+        let t = self.local_clock + self.pending_work + cost;
         self.pending_work = 0;
-        g.clocks[self.tid] = t;
         self.local_clock = t;
-        g.queue.push(Reverse((t, self.tid)));
-        Self::dispatch(&mut g, &self.shared.cvs);
-        while g.chosen != Some(self.tid) {
-            self.shared.cvs[self.tid].wait(&mut g);
+        if self.lookahead && self.next_min.map_or(true, |min| (t, self.tid) < min) {
+            self.conductor.fast_ops += 1;
+            self.conductor.fast_by_class[class.index()] += 1;
+            let mem = match &self.backend {
+                // SAFETY: we hold the baton and stay its holder (we are
+                // still strictly earliest), so this is the unique live
+                // access; the preceding holder's writes are visible via the
+                // mutex handoff that granted us the baton.
+                Backend::Threads(s) => unsafe { &mut *s.mem.get() },
+                // SAFETY: single OS thread; we are the only live fiber.
+                #[cfg(target_arch = "x86_64")]
+                Backend::Fiber(h) => unsafe { &mut (**h).mem },
+            };
+            return eff(mem, t);
         }
-        eff(&mut g.mem, t)
+        self.conductor.handoffs += 1;
+        match self.backend {
+            Backend::Threads(ref shared) => {
+                let mut g = shared.mx.lock().unwrap();
+                g.clocks[self.tid] = t;
+                g.queue.push(Reverse((t, self.tid)));
+                Self::dispatch(&mut g, &shared.cvs);
+                while g.chosen != Some(self.tid) {
+                    g = shared.cvs[self.tid].wait(g).unwrap();
+                }
+                self.next_min = g.queue.peek().map(|r| r.0);
+                drop(g);
+                // SAFETY: `chosen == tid` again — unique access, published by
+                // the mutex release of whichever thread dispatched to us.
+                let mem = unsafe { &mut *shared.mem.get() };
+                eff(mem, t)
+            }
+            #[cfg(target_arch = "x86_64")]
+            Backend::Fiber(hub) => unsafe {
+                // Requeue ourselves, pick the globally earliest thread, and
+                // switch to it unless that is us again. Exactly one fiber is
+                // live at a time, so each `&mut *hub` below is unique.
+                let next = {
+                    let h = &mut *hub;
+                    h.clocks[self.tid] = t;
+                    h.queue.push(Reverse((t, self.tid)));
+                    let Reverse((_, next)) = h.queue.pop().expect("queue contains us");
+                    next
+                };
+                if next != self.tid {
+                    let (save, load) = {
+                        let h = &mut *hub;
+                        (&mut h.rsps[self.tid] as *mut usize, h.rsps[next])
+                    };
+                    // SAFETY: `load` was saved by the suspended fiber `next`
+                    // (or is its initial context); `save` is resumed exactly
+                    // once, by whichever fiber later pops our queue entry.
+                    fiber::switch(save, load);
+                }
+                let h = &mut *hub;
+                self.next_min = h.queue.peek().map(|r| r.0);
+                eff(&mut h.mem, t)
+            },
+        }
     }
 
-    /// Leave the pool for good, folding in trailing work.
+    /// Leave the pool for good, folding in trailing work and publishing the
+    /// final clock (OS-thread conductor; fibers retire in `fiber_entry`).
     fn retire(&mut self) {
-        let mut g = self.shared.mx.lock();
-        g.clocks[self.tid] += self.pending_work;
+        let Backend::Threads(ref shared) = self.backend else {
+            unreachable!("retire() is only used by the OS-thread conductor");
+        };
+        self.local_clock += self.pending_work;
         self.pending_work = 0;
+        let mut g = shared.mx.lock().unwrap();
+        g.clocks[self.tid] = self.local_clock;
         g.retired += 1;
         g.final_stats[self.tid] = Some(self.stats.clone());
-        Self::dispatch(&mut g, &self.shared.cvs);
+        g.final_conductor[self.tid] = Some(self.conductor.clone());
+        Self::dispatch(&mut g, &shared.cvs);
     }
 
     fn size_of_items(n: usize) -> usize {
@@ -273,11 +745,17 @@ impl<T: Item> Comm<T> for SimComm<T> {
     }
 
     fn n_threads(&self) -> usize {
-        self.shared.nthreads
+        self.nthreads
     }
 
     fn machine(&self) -> &MachineModel {
-        &self.shared.machine
+        match &self.backend {
+            Backend::Threads(s) => &s.machine,
+            // SAFETY: the hub outlives every fiber, and `machine` is written
+            // only before the first fiber starts.
+            #[cfg(target_arch = "x86_64")]
+            Backend::Fiber(h) => unsafe { &(**h).machine },
+        }
     }
 
     fn now(&self) -> u64 {
@@ -285,7 +763,7 @@ impl<T: Item> Comm<T> for SimComm<T> {
     }
 
     fn work(&mut self, units: u64) {
-        let ns = units * self.shared.machine.node_ns;
+        let ns = units * self.machine().node_ns;
         self.pending_work += ns;
         self.stats.work_ns += ns;
     }
@@ -297,26 +775,26 @@ impl<T: Item> Comm<T> for SimComm<T> {
 
     fn poll(&mut self) {
         self.stats.polls += 1;
-        let c = self.shared.machine.poll_ns;
-        self.op(c, |_, _| ());
+        let c = self.machine().poll_ns;
+        self.op(OpClass::Poll, c, |_, _| ());
     }
 
     fn get(&mut self, thread: usize, var: usize) -> i64 {
         self.stats.gets += 1;
-        let c = self.shared.machine.ref_cost(self.tid, thread);
-        self.op(c, |m, _| m.scalars[thread][var])
+        let c = self.machine().ref_cost(self.tid, thread);
+        self.op(OpClass::Scalar, c, |m, _| m.scalars[thread][var])
     }
 
     fn put(&mut self, thread: usize, var: usize, val: i64) {
         self.stats.puts += 1;
-        let c = self.shared.machine.ref_cost(self.tid, thread);
-        self.op(c, |m, _| m.scalars[thread][var] = val)
+        let c = self.machine().ref_cost(self.tid, thread);
+        self.op(OpClass::Scalar, c, |m, _| m.scalars[thread][var] = val)
     }
 
     fn cas(&mut self, thread: usize, var: usize, expected: i64, new: i64) -> i64 {
         self.stats.atomics += 1;
-        let c = self.shared.machine.atomic_cost(self.tid, thread);
-        self.op(c, |m, _| {
+        let c = self.machine().atomic_cost(self.tid, thread);
+        self.op(OpClass::Atomic, c, |m, _| {
             let cell = &mut m.scalars[thread][var];
             let observed = *cell;
             if observed == expected {
@@ -328,8 +806,8 @@ impl<T: Item> Comm<T> for SimComm<T> {
 
     fn add(&mut self, thread: usize, var: usize, delta: i64) -> i64 {
         self.stats.atomics += 1;
-        let c = self.shared.machine.atomic_cost(self.tid, thread);
-        self.op(c, |m, _| {
+        let c = self.machine().atomic_cost(self.tid, thread);
+        self.op(OpClass::Atomic, c, |m, _| {
             let cell = &mut m.scalars[thread][var];
             let old = *cell;
             *cell = old + delta;
@@ -338,8 +816,8 @@ impl<T: Item> Comm<T> for SimComm<T> {
     }
 
     fn try_lock(&mut self, thread: usize, lock: usize) -> bool {
-        let c = self.shared.machine.lock_cost(self.tid, thread);
-        let ok = self.op(c, |m, _| {
+        let c = self.machine().lock_cost(self.tid, thread);
+        let ok = self.op(OpClass::Lock, c, |m, _| {
             let held = &mut m.locks[thread][lock];
             if *held {
                 false
@@ -358,8 +836,8 @@ impl<T: Item> Comm<T> for SimComm<T> {
 
     fn unlock(&mut self, thread: usize, lock: usize) {
         self.stats.unlocks += 1;
-        let c = self.shared.machine.unlock_cost(self.tid, thread);
-        self.op(c, |m, _| {
+        let c = self.machine().unlock_cost(self.tid, thread);
+        self.op(OpClass::Lock, c, |m, _| {
             assert!(m.locks[thread][lock], "unlock of a free lock");
             m.locks[thread][lock] = false;
         })
@@ -367,18 +845,17 @@ impl<T: Item> Comm<T> for SimComm<T> {
 
     fn area_len(&mut self, thread: usize) -> usize {
         self.stats.gets += 1;
-        let c = self.shared.machine.ref_cost(self.tid, thread);
-        self.op(c, |m, _| m.areas[thread].len())
+        let c = self.machine().ref_cost(self.tid, thread);
+        self.op(OpClass::Scalar, c, |m, _| m.areas[thread].len())
     }
 
     fn area_read(&mut self, thread: usize, offset: usize, len: usize, dst: &mut Vec<T>) {
         self.stats.bulk_ops += 1;
         self.stats.bulk_items += len as u64;
         let c = self
-            .shared
-            .machine
+            .machine()
             .bulk_cost(self.tid, thread, Self::size_of_items(len));
-        self.op(c, |m, _| {
+        self.op(OpClass::Bulk, c, |m, _| {
             let area = &m.areas[thread];
             assert!(
                 offset + len <= area.len(),
@@ -395,10 +872,9 @@ impl<T: Item> Comm<T> for SimComm<T> {
         self.stats.bulk_ops += 1;
         self.stats.bulk_items += src.len() as u64;
         let c = self
-            .shared
-            .machine
+            .machine()
             .bulk_cost(self.tid, thread, Self::size_of_items(src.len()));
-        self.op(c, |m, _| {
+        self.op(OpClass::Bulk, c, |m, _| {
             let area = &mut m.areas[thread];
             if area.len() < offset + src.len() {
                 area.resize(offset + src.len(), T::default());
@@ -409,8 +885,8 @@ impl<T: Item> Comm<T> for SimComm<T> {
 
     fn area_truncate(&mut self, thread: usize, len: usize) {
         self.stats.puts += 1;
-        let c = self.shared.machine.ref_cost(self.tid, thread);
-        self.op(c, |m, _| {
+        let c = self.machine().ref_cost(self.tid, thread);
+        self.op(OpClass::Scalar, c, |m, _| {
             assert!(len <= m.areas[thread].len(), "truncate beyond area length");
             m.areas[thread].truncate(len);
         })
@@ -426,11 +902,10 @@ impl<T: Item> Comm<T> for SimComm<T> {
             payload: payload.to_vec(),
         };
         let flight = self
-            .shared
-            .machine
+            .machine()
             .msg_flight_ns(self.tid, dst, msg.wire_bytes());
-        let overhead = self.shared.machine.msg_overhead_ns;
-        self.op(overhead, move |m, now| {
+        let overhead = self.machine().msg_overhead_ns;
+        self.op(OpClass::Message, overhead, move |m, now| {
             let seq = m.send_seq;
             m.send_seq += 1;
             m.mailboxes[dst].insert((now + flight, seq), msg);
@@ -439,9 +914,9 @@ impl<T: Item> Comm<T> for SimComm<T> {
 
     fn has_msg(&mut self, tag: Option<i64>) -> bool {
         self.stats.gets += 1;
-        let c = self.shared.machine.local_ref_ns;
+        let c = self.machine().local_ref_ns;
         let me = self.tid;
-        self.op(c, |m, now| {
+        self.op(OpClass::Message, c, |m, now| {
             m.mailboxes[me]
                 .iter()
                 .take_while(|((arrival, _), _)| *arrival <= now)
@@ -450,9 +925,9 @@ impl<T: Item> Comm<T> for SimComm<T> {
     }
 
     fn try_recv(&mut self, tag: Option<i64>) -> Option<Msg<T>> {
-        let c = self.shared.machine.local_ref_ns;
+        let c = self.machine().local_ref_ns;
         let me = self.tid;
-        let got = self.op(c, |m, now| {
+        let got = self.op(OpClass::Message, c, |m, now| {
             let key = m.mailboxes[me]
                 .iter()
                 .take_while(|((arrival, _), _)| *arrival <= now)
@@ -488,6 +963,9 @@ mod tests {
         assert_eq!(report.results, vec![42]);
         assert_eq!(report.final_scalar(0, 0), 42);
         assert!(report.makespan_ns > 0);
+        // A lone thread never has competition: every op takes the fast path.
+        assert_eq!(report.conductor[0].handoffs, 0);
+        assert_eq!(report.conductor[0].fast_ops, 2);
     }
 
     #[test]
@@ -552,6 +1030,74 @@ mod tests {
         assert_eq!(a.makespan_ns, b.makespan_ns);
         assert_eq!(a.scalars, b.scalars);
         assert_eq!(a.stats, b.stats);
+        assert_eq!(a.conductor, b.conductor);
+    }
+
+    /// The fast conductor must be invisible in every modelled quantity:
+    /// running the same contended workload with lookahead on and off yields
+    /// the same results, clocks, makespan, memory, and comm stats — only the
+    /// conductor (harness) counters may differ.
+    #[test]
+    fn lookahead_off_is_bit_identical() {
+        let run = |lookahead: bool| {
+            SimCluster::<u64>::new(MachineModel::kittyhawk(), 8, SpaceConfig::default())
+                .with_lookahead(lookahead)
+                .run(|c| {
+                    let me = c.my_id();
+                    let n = c.n_threads();
+                    for i in 0..40u64 {
+                        match (me as u64 + i) % 6 {
+                            0 => {
+                                c.add((me + 1) % n, 2, 1);
+                            }
+                            1 => c.work(7 + (i % 5)),
+                            2 => c.put(me, 0, i as i64),
+                            3 => {
+                                let _ = c.get((me + i as usize) % n, 0);
+                            }
+                            4 => {
+                                if c.try_lock(0, 1) {
+                                    c.unlock(0, 1);
+                                }
+                            }
+                            _ => c.poll(),
+                        }
+                    }
+                    c.now()
+                })
+        };
+        let fast = run(true);
+        let slow = run(false);
+        assert_eq!(fast.results, slow.results);
+        assert_eq!(fast.makespan_ns, slow.makespan_ns);
+        assert_eq!(fast.clocks, slow.clocks);
+        assert_eq!(fast.scalars, slow.scalars);
+        assert_eq!(fast.stats, slow.stats);
+        // And the knob really switches modes.
+        assert_eq!(slow.total_conductor().fast_ops, 0);
+        assert!(fast.total_conductor().fast_ops > 0, "fast path never engaged");
+        assert_eq!(
+            fast.total_conductor().total_ops(),
+            slow.total_conductor().total_ops(),
+            "both modes must conduct the same operation stream"
+        );
+    }
+
+    /// The fast-path histogram attributes operations to the right class.
+    #[test]
+    fn conductor_histogram_tracks_classes() {
+        let report = smp_cluster(1).run(|c| {
+            c.put(0, 0, 1); // scalar
+            c.add(0, 0, 1); // atomic
+            c.poll(); // poll
+            c.send(0, 1, [0; 4], &[1u64]); // message
+        });
+        let total = report.total_conductor();
+        assert_eq!(total.fast_ops, 4);
+        assert_eq!(total.fast_by_class[OpClass::Scalar.index()], 1);
+        assert_eq!(total.fast_by_class[OpClass::Atomic.index()], 1);
+        assert_eq!(total.fast_by_class[OpClass::Poll.index()], 1);
+        assert_eq!(total.fast_by_class[OpClass::Message.index()], 1);
     }
 
     #[test]
@@ -697,6 +1243,28 @@ mod tests {
             assert!(t >= 1_000_000 * m.node_ns);
         }
     }
+
+    /// A spinning receiver that is far behind in virtual time must burn its
+    /// probe iterations on the lookahead fast path rather than handing off
+    /// per probe — the batching the fast path exists for.
+    #[test]
+    fn spin_probes_batch_on_fast_path() {
+        let m = MachineModel::kittyhawk();
+        let cluster: SimCluster<u64> = SimCluster::new(m, 2, SpaceConfig::default());
+        let report = cluster.run(|c| {
+            if c.my_id() == 0 {
+                c.work(50_000); // push thread 0 far ahead before sending
+                c.send(1, 1, [0; 4], &[]);
+            } else {
+                while c.try_recv(Some(1)).is_none() {}
+            }
+        });
+        let probe_thread = &report.conductor[1];
+        assert!(
+            probe_thread.fast_ops > probe_thread.handoffs,
+            "probes should mostly stay on the fast path: {probe_thread:?}"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -705,24 +1273,27 @@ mod failure_tests {
 
     /// A worker panic must not deadlock the cluster: the baton is handed on
     /// before unwinding, the other threads run to completion, and the panic
-    /// resurfaces from `run`.
+    /// resurfaces from `run` — in both conductor modes.
     #[test]
     fn worker_panic_does_not_hang_cluster() {
-        let result = std::panic::catch_unwind(|| {
-            let cluster: SimCluster<u64> =
-                SimCluster::new(MachineModel::smp(), 4, SpaceConfig::default());
-            cluster.run(|c| {
-                if c.my_id() == 2 {
-                    panic!("injected failure");
-                }
-                // The survivors do real communication and finish.
-                for _ in 0..50 {
-                    c.add(0, 0, 1);
-                }
-                c.my_id()
-            })
-        });
-        assert!(result.is_err(), "panic must propagate");
+        for lookahead in [true, false] {
+            let result = std::panic::catch_unwind(|| {
+                let cluster: SimCluster<u64> =
+                    SimCluster::new(MachineModel::smp(), 4, SpaceConfig::default())
+                        .with_lookahead(lookahead);
+                cluster.run(|c| {
+                    if c.my_id() == 2 {
+                        panic!("injected failure");
+                    }
+                    // The survivors do real communication and finish.
+                    for _ in 0..50 {
+                        c.add(0, 0, 1);
+                    }
+                    c.my_id()
+                })
+            });
+            assert!(result.is_err(), "panic must propagate (lookahead={lookahead})");
+        }
     }
 
     /// Out-of-range bulk reads are detected, not silently truncated.

@@ -4,6 +4,14 @@
 //! stealing operations per second", §1) and overhead decomposition (93%
 //! working-state efficiency, §6.2); these counters are the raw material for
 //! those reports.
+//!
+//! [`ConductorStats`] is simulator-side only: it measures the *harness*
+//! (how many operations the virtual-time conductor applied on its lock-free
+//! lookahead fast path vs. via a baton handoff), never the modelled machine.
+//! It is deliberately kept out of [`CommStats`] so the fast path cannot
+//! perturb any equality check on modelled results (see `docs/conductor.md`).
+
+use crate::comm::OpClass;
 
 /// Operation counters and accumulated costs for one thread's [`crate::Comm`]
 /// handle. All communication time is in (virtual or real) nanoseconds.
@@ -73,9 +81,79 @@ impl CommStats {
     }
 }
 
+/// Harness-side counters for the virtual-time conductor's scheduling of one
+/// simulated thread (see `docs/conductor.md`).
+///
+/// `fast_ops + handoffs` equals the number of priced operations the thread
+/// issued; the split tells you how much real-machine synchronization the
+/// simulation needed. These counters describe the simulator itself — they are
+/// identical in *meaning* but not in *value* across lookahead on/off runs,
+/// which is why they live outside [`CommStats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConductorStats {
+    /// Operations applied on the lock-free lookahead fast path (the issuing
+    /// thread kept the baton: no mutex, no condvar, no handoff).
+    pub fast_ops: u64,
+    /// Operations that went through a full baton handoff (mutex + schedule +
+    /// condvar wait).
+    pub handoffs: u64,
+    /// Fast-path operations by [`OpClass`] histogram index
+    /// ([`OpClass::index`]).
+    pub fast_by_class: [u64; OpClass::COUNT],
+}
+
+impl ConductorStats {
+    /// Total priced operations conducted for this thread.
+    pub fn total_ops(&self) -> u64 {
+        self.fast_ops + self.handoffs
+    }
+
+    /// Fraction of operations that avoided a baton handoff (0.0 when no
+    /// operations were issued).
+    pub fn fast_fraction(&self) -> f64 {
+        let total = self.total_ops();
+        if total == 0 {
+            0.0
+        } else {
+            self.fast_ops as f64 / total as f64
+        }
+    }
+
+    /// Merge another thread's counters into this one (for aggregate reports).
+    pub fn merge(&mut self, other: &ConductorStats) {
+        self.fast_ops += other.fast_ops;
+        self.handoffs += other.handoffs;
+        for (a, b) in self.fast_by_class.iter_mut().zip(other.fast_by_class) {
+            *a += b;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn conductor_merge_and_fraction() {
+        let mut a = ConductorStats {
+            fast_ops: 3,
+            handoffs: 1,
+            fast_by_class: [3, 0, 0, 0, 0, 0],
+        };
+        let b = ConductorStats {
+            fast_ops: 1,
+            handoffs: 1,
+            fast_by_class: [0, 1, 0, 0, 0, 0],
+        };
+        a.merge(&b);
+        assert_eq!(a.total_ops(), 6);
+        assert_eq!(a.fast_by_class, [3, 1, 0, 0, 0, 0]);
+        assert!((a.fast_fraction() - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(ConductorStats::default().fast_fraction(), 0.0);
+        for (i, c) in OpClass::all().into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
 
     #[test]
     fn merge_adds_fields() {

@@ -1,0 +1,432 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! The build container has no access to crates.io, so this workspace vendors
+//! a minimal, dependency-free implementation of exactly the proptest surface
+//! its test suites use:
+//!
+//! - the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! - integer-range, [`Just`], tuple, `prop_map`, [`prop_oneof!`] and
+//!   `prop::collection::vec` strategies,
+//! - [`any`] for primitive integers,
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`],
+//! - [`ProptestConfig`] with `cases` and `max_shrink_iters`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case panics with the generated values in
+//!   scope of the assertion message; `max_shrink_iters` is ignored.
+//! - **Deterministic generation.** The RNG is seeded from the test's module
+//!   path and name, so every run explores the same cases. This trades fuzzing
+//!   breadth for reproducible CI — the right trade for an offline container.
+
+use std::ops::Range;
+
+/// Deterministic splitmix64 generator used for all value generation.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed from a test's fully qualified name (FNV-1a hash), so each test
+    /// gets a distinct but reproducible stream.
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(h | 1)
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; returns 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// Run configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Ignored (no shrinking); kept so real-proptest configs parse.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A value generator. The real crate's `Strategy` is a shrink tree; ours is
+/// just a sampler, which is all the no-shrinking harness needs.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Sample one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f` (real proptest's `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types [`any`] can produce from raw RNG bits.
+pub trait ArbitraryValue {
+    /// Sample a uniformly distributed value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-range strategy for a primitive type (real proptest's `any::<T>()`).
+pub fn any<T: ArbitraryValue>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!((A) (A, B) (A, B, C) (A, B, C, D));
+
+/// Type-erased strategy, used by [`prop_oneof!`] to mix arm types.
+pub struct BoxedStrategy<V>(Box<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Erase a strategy's concrete type.
+pub fn boxed_strategy<S>(s: S) -> BoxedStrategy<S::Value>
+where
+    S: Strategy + 'static,
+{
+    BoxedStrategy(Box::new(move |rng| s.generate(rng)))
+}
+
+/// Uniform choice between arms (the [`prop_oneof!`] implementation).
+pub struct OneOf<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> OneOf<V> {
+    /// Build from pre-boxed arms; panics if empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> OneOf<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// `prop::collection` namespace (only `vec` is provided).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+
+        /// Strategy for `Vec`s of values from `element`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.hi - self.size.lo).max(1) as u64;
+                let len = self.size.lo + rng.below(span) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Vectors of `element` values with a length drawn from `size`
+        /// (either an exact `usize` or a `Range<usize>`).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+}
+
+/// Length specification for `prop::collection::vec`: `[lo, hi)`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    /// Inclusive lower bound.
+    pub lo: usize,
+    /// Exclusive upper bound.
+    pub hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Everything the test files import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ArbitraryValue, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Assert inside a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when a precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::boxed_strategy($arm)),+])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }` runs
+/// `config.cases` times with freshly generated arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::from_name(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                let __one_case = move || $body;
+                __one_case();
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = (3usize..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let s = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn vec_respects_size() {
+        let mut rng = TestRng::from_name("vec");
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u32..9, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            let exact = prop::collection::vec(0u32..9, 4usize).generate(&mut rng);
+            assert_eq!(exact.len(), 4);
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let s = prop_oneof![
+            (0u32..5).prop_map(|v| v as i64),
+            Just(-1i64),
+            ((0u32..3), (0u32..3)).prop_map(|(a, b)| i64::from(a + b)),
+        ];
+        let mut rng = TestRng::from_name("oneof");
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((-1..7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let sample = |name: &str| {
+            let mut rng = TestRng::from_name(name);
+            (0..32).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(sample("a"), sample("a"));
+        assert_ne!(sample("a"), sample("b"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// The macro itself: args generate, assume skips, asserts fire.
+        #[test]
+        fn macro_roundtrip(a in 1u64..100, pair in ((0usize..4), any::<i64>())) {
+            prop_assume!(a != 99);
+            prop_assert!(a >= 1 && a < 100);
+            prop_assert_eq!(pair.0, pair.0);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+#!/bin/bash
+# CI smoke for the simulator's conductor fast path (docs/conductor.md §6).
+#
+# Builds and runs conductor_bench at the seconds-scale smoke point
+# (T-S, 64 threads, kittyhawk, upc-distmem, k=8), asserts fast vs slow
+# virtual results are bit-identical, and fails (exit 1) if the fast/slow
+# wall-clock speedup regresses more than 20% below the committed baseline
+# in scripts/conductor_baseline.json.
+#
+# Extra arguments are passed through to conductor_bench, e.g.:
+#   scripts/bench_conductor.sh --repeats 5
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo build --release --offline -p uts-bench --bin conductor_bench
+mkdir -p results/logs
+./target/release/conductor_bench --smoke \
+  --baseline scripts/conductor_baseline.json \
+  --out results/logs/BENCH_conductor_smoke.json \
+  "$@" | tee results/logs/conductor_smoke.log

@@ -1,0 +1,86 @@
+//! Fast-path equivalence: the simulator's lookahead conductor must be
+//! invisible in every modelled quantity.
+//!
+//! For each load-balancing algorithm, tree, and thread count, the same run is
+//! executed with the lookahead fast path enabled and disabled, and the two
+//! reports are required to be *bit-identical*: virtual makespan, every
+//! per-thread virtual clock, every per-thread worker result (nodes, steals,
+//! releases, state times, comm counters), and the final memory image. Only
+//! the conductor's own harness counters may differ — that is the whole point
+//! of keeping them out of `CommStats`. See `docs/conductor.md`.
+
+use pgas::sim::{SimCluster, SimReport};
+use pgas::MachineModel;
+use uts_tree::presets::{self, Preset};
+use worksteal::{vars, worker, Algorithm, RunConfig, TaskGen, ThreadResult, UtsGen};
+
+fn run_mode(
+    preset: &Preset,
+    alg: Algorithm,
+    threads: usize,
+    lookahead: bool,
+) -> SimReport<ThreadResult> {
+    let gen = UtsGen::new(preset.spec);
+    let cfg = RunConfig {
+        sim_lookahead: lookahead,
+        ..RunConfig::new(alg, 4)
+    };
+    let cluster: SimCluster<<UtsGen as TaskGen>::Task> =
+        SimCluster::new(MachineModel::kittyhawk(), threads, vars::space_config())
+            .with_lookahead(lookahead);
+    cluster.run(move |c| worker(c, &gen, &cfg))
+}
+
+fn assert_equivalent(preset: &Preset, alg: Algorithm, threads: usize) {
+    let fast = run_mode(preset, alg, threads, true);
+    let slow = run_mode(preset, alg, threads, false);
+    let label = format!("{} x {} threads x {}", alg.label(), threads, preset.name);
+
+    assert_eq!(
+        fast.makespan_ns, slow.makespan_ns,
+        "{label}: virtual makespan diverged"
+    );
+    assert_eq!(fast.clocks, slow.clocks, "{label}: per-thread clocks diverged");
+    assert_eq!(fast.scalars, slow.scalars, "{label}: final memory diverged");
+    assert_eq!(fast.stats, slow.stats, "{label}: comm stats diverged");
+    for (tid, (f, s)) in fast.results.iter().zip(&slow.results).enumerate() {
+        assert_eq!(f, s, "{label}: thread {tid} worker result diverged");
+    }
+
+    // Sanity on the knob itself: slow mode must never use the fast path, fast
+    // mode must actually exercise it, and both must conduct the same stream.
+    let (fc, sc) = (fast.total_conductor(), slow.total_conductor());
+    assert_eq!(sc.fast_ops, 0, "{label}: lookahead off still fast-pathed");
+    assert!(fc.fast_ops > 0, "{label}: lookahead on never fast-pathed");
+    assert_eq!(
+        fc.total_ops(),
+        sc.total_ops(),
+        "{label}: operation streams differ in length"
+    );
+}
+
+fn matrix_over(preset: &Preset, threads: usize) {
+    for alg in Algorithm::all() {
+        assert_equivalent(preset, alg, threads);
+    }
+}
+
+#[test]
+fn all_algorithms_tiny_16_threads() {
+    matrix_over(&presets::t_tiny(), 16);
+}
+
+#[test]
+fn all_algorithms_tiny_64_threads() {
+    matrix_over(&presets::t_tiny(), 64);
+}
+
+#[test]
+fn all_algorithms_small_16_threads() {
+    matrix_over(&presets::t_s(), 16);
+}
+
+#[test]
+fn all_algorithms_small_64_threads() {
+    matrix_over(&presets::t_s(), 64);
+}
