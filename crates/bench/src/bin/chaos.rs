@@ -1,0 +1,128 @@
+//! Chaos soak: sweep seeded fault schedules across all five paper
+//! algorithms and fail on any conservation or termination violation.
+//!
+//! For every seed `0..--schedules`, every algorithm in
+//! [`Algorithm::paper_set`] runs under [`FaultPlan::seeded`] with the thief
+//! request timeout armed (see `docs/faults.md`). Each run must count the
+//! tree exactly (checked against a sequential traversal) — the in-band
+//! reduction inside the engine independently cross-checks the same total on
+//! every thread. A run that livelocks trips the virtual-time watchdogs in a
+//! debug build, or the `--budget-s` wall-clock bound here in release.
+//!
+//! Per algorithm the soak reports makespan inflation versus the fault-free
+//! baseline, plus the hardening counters (timeouts, retracts won/lost,
+//! retries, backoff time).
+//!
+//! Run with: `cargo run --release -p uts-bench --bin chaos -- \
+//!     [--schedules 50] [--threads 16] [--tree tiny] [--machine kittyhawk] \
+//!     [--timeout-ns 50000] [--budget-s 600]`
+//!
+//! Exits nonzero on the first violation.
+
+use std::time::Instant;
+
+use pgas::FaultPlan;
+use uts_bench::harness::{arg, machine_by_name, preset_by_name};
+use worksteal::{run_sim, seq_run, Algorithm, RunConfig, UtsGen};
+
+fn main() {
+    let schedules: u64 = arg("--schedules", 50);
+    let threads: usize = arg("--threads", 16);
+    let tree: String = arg("--tree", "tiny".to_string());
+    let machine_name: String = arg("--machine", "kittyhawk".to_string());
+    let timeout_ns: u64 = arg("--timeout-ns", 50_000);
+    let budget_s: u64 = arg("--budget-s", 600);
+
+    let p = preset_by_name(&tree);
+    let gen = UtsGen::new(p.spec);
+    let m = machine_by_name(&machine_name);
+    let (seq_nodes, _) = seq_run(&gen);
+    assert_eq!(seq_nodes, p.expected.nodes, "preset table is stale");
+
+    println!(
+        "chaos soak: {} schedules x {} algorithms, T-{tree} ({} nodes), \
+         {machine_name}, p={threads}, timeout={timeout_ns}ns",
+        schedules,
+        Algorithm::paper_set().len(),
+        seq_nodes
+    );
+
+    let t0 = Instant::now();
+    let mut violations = 0u64;
+    let mut runs = 0u64;
+
+    for alg in Algorithm::paper_set() {
+        // Fault-free baseline for the inflation figure.
+        let mut base_cfg = RunConfig::new(alg, 8);
+        base_cfg.steal_timeout_ns = Some(timeout_ns);
+        let base = run_sim(m.clone(), threads, &gen, &base_cfg);
+        if base.total_nodes != seq_nodes {
+            eprintln!("VIOLATION: {} fault-free baseline lost nodes", alg.label());
+            violations += 1;
+        }
+
+        let mut worst_inflation = 0.0f64;
+        let mut sum_inflation = 0.0f64;
+        let mut timeouts = 0u64;
+        let mut retracts_won = 0u64;
+        let mut retracts_lost = 0u64;
+        let mut retries = 0u64;
+        let mut backoff_ns = 0u64;
+
+        for seed in 0..schedules {
+            if t0.elapsed().as_secs() > budget_s {
+                eprintln!(
+                    "VIOLATION: wall-clock budget {budget_s}s exceeded at \
+                     {} seed {seed} — livelock suspected",
+                    alg.label()
+                );
+                violations += 1;
+                break;
+            }
+            let mut cfg = RunConfig::new(alg, 8);
+            cfg.faults = FaultPlan::seeded(seed);
+            cfg.steal_timeout_ns = Some(timeout_ns);
+            let r = run_sim(m.clone(), threads, &gen, &cfg);
+            runs += 1;
+            if r.total_nodes != seq_nodes {
+                eprintln!(
+                    "VIOLATION: {} seed {seed}: {} nodes explored, {} expected",
+                    alg.label(),
+                    r.total_nodes,
+                    seq_nodes
+                );
+                violations += 1;
+            }
+            let inflation = r.makespan_ns as f64 / base.makespan_ns.max(1) as f64;
+            worst_inflation = worst_inflation.max(inflation);
+            sum_inflation += inflation;
+            let t = r.totals();
+            timeouts += t.steal_timeouts;
+            retracts_won += t.retracts_won;
+            retracts_lost += t.retracts_lost;
+            retries += t.steal_retries;
+            backoff_ns += t.timeout_backoff_ns;
+        }
+
+        println!(
+            "{:<16} inflation mean {:>5.2}x worst {:>5.2}x | timeouts {:>5} \
+             retracts {:>4}W/{:<4}L retries {:>5} backoff {:>7}us",
+            alg.label(),
+            sum_inflation / schedules.max(1) as f64,
+            worst_inflation,
+            timeouts,
+            retracts_won,
+            retracts_lost,
+            retries,
+            backoff_ns / 1_000
+        );
+    }
+
+    println!(
+        "\n{runs} faulted runs in {:.1}s, {violations} violations",
+        t0.elapsed().as_secs_f64()
+    );
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}

@@ -50,7 +50,14 @@ pub fn measure(
     chunk: usize,
     expected_nodes: u64,
 ) -> Row {
-    let cfg = RunConfig::new(algorithm, chunk);
+    // Opt-in chaos: UTS_CHAOS_SEED / UTS_STEAL_TIMEOUT_NS fault-inject any
+    // figure binary without new flags; unset they change nothing. Likewise
+    // UTS_SIM_REFERENCE=1 swaps in the reference OS-thread conductor
+    // (virtual results are bit-identical, only wall-clock differs).
+    let mut cfg = RunConfig::new(algorithm, chunk).with_env_chaos();
+    if std::env::var("UTS_SIM_REFERENCE").is_ok_and(|v| v == "1") {
+        cfg.sim_lookahead = false;
+    }
     let t0 = Instant::now();
     let report = run_sim(machine.clone(), threads, gen, &cfg);
     let t_real = t0.elapsed().as_secs_f64();

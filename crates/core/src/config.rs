@@ -1,5 +1,7 @@
 //! Run configuration: algorithm selection and tuning knobs.
 
+use pgas::FaultPlan;
+
 /// Which load-balancing implementation to run (paper Figure 3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Algorithm {
@@ -88,6 +90,17 @@ pub struct RunConfig {
     /// Purely a harness-speed knob: virtual-time results are bit-identical
     /// either way (see `docs/conductor.md`). Ignored by the native backend.
     pub sim_lookahead: bool,
+    /// Deterministic fault schedule injected into the simulator's cost
+    /// accounting (see `docs/faults.md`). [`FaultPlan::none()`] by default:
+    /// fault-free runs pay zero cost and stay bit-identical. Ignored by the
+    /// native backend.
+    pub faults: FaultPlan,
+    /// Virtual-time budget a thief waits on an outstanding steal request
+    /// before retracting it and re-probing (the timeout/retract hardening in
+    /// `docs/faults.md`). `None` (the default) reproduces the paper's
+    /// wait-forever protocol exactly; fault schedules with stalled victims
+    /// need it armed to stay live-ish under long stalls.
+    pub steal_timeout_ns: Option<u64>,
 }
 
 impl RunConfig {
@@ -101,8 +114,29 @@ impl RunConfig {
             seed: 0x5EED_CAFE,
             trace: false,
             sim_lookahead: true,
+            faults: FaultPlan::none(),
+            steal_timeout_ns: None,
         }
     }
+
+    /// Apply opt-in chaos overrides from the environment, so any harness can
+    /// be fault-injected without new flags: `UTS_CHAOS_SEED=<u64>` installs
+    /// [`FaultPlan::seeded`] with that seed, and `UTS_STEAL_TIMEOUT_NS=<u64>`
+    /// arms the thief request timeout. Unset (or unparsable) variables leave
+    /// the config untouched, keeping fault-free runs bit-identical.
+    pub fn with_env_chaos(mut self) -> RunConfig {
+        if let Some(seed) = parse_env("UTS_CHAOS_SEED") {
+            self.faults = FaultPlan::seeded(seed);
+        }
+        if let Some(ns) = parse_env("UTS_STEAL_TIMEOUT_NS") {
+            self.steal_timeout_ns = Some(ns);
+        }
+        self
+    }
+}
+
+fn parse_env(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
 }
 
 impl Default for RunConfig {

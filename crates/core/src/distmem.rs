@@ -23,6 +23,26 @@
 //! available chunks when more than one is available. Termination detection
 //! is the §3.3.1 streamlined barrier. The `hier` flag enables the §6.2
 //! future-work refinement: probe same-node victims before off-node ones.
+//!
+//! # Timeout/retract hardening (`docs/faults.md`)
+//!
+//! The paper's thief waits on its response cell *forever*; a stalled victim
+//! therefore stalls the thief too. When [`RunConfig::steal_timeout_ns`] is
+//! armed, a thief whose wait exceeds the budget **retracts**: it CASes the
+//! victim's request cell from its own id back to `NO_REQUEST`. Winning that
+//! CAS proves the victim never observed the request (in hardened mode the
+//! victim *claims* a request with the mirror CAS before acting on it), so
+//! no grant can ever be issued against it — the thief safely abandons the
+//! victim, backs off exponentially, and re-probes elsewhere. Losing the CAS
+//! proves the victim already claimed the request at an earlier virtual
+//! time, so a grant or denial is guaranteed to land in the thief's response
+//! cells; the thief disarms the deadline and consumes it normally. Either
+//! way a granted chunk is consumed exactly once: the request cell only
+//! moves `NO_REQUEST → thief` (thief install) and `thief → NO_REQUEST`
+//! (victim claim **or** thief retract, never both — CAS picks one winner).
+//! The claim-CAS replaces the fault-free protocol's trailing plain-write
+//! reset only when a timeout is armed, leaving the paper-faithful op
+//! sequence (and its bit-exact virtual times) untouched otherwise.
 
 use pgas::comm::Item;
 use pgas::Comm;
@@ -36,9 +56,15 @@ use crate::state::{State, StateClock};
 use crate::taskgen::TaskGen;
 use crate::trace::TraceLog;
 use crate::vars;
+use crate::watchdog::Watchdog;
 
 /// Backoff while spinning on our own response cell (local reads).
 const RESPONSE_BACKOFF_NS: u64 = 1_500;
+/// Initial post-timeout backoff before re-probing; doubles per consecutive
+/// timeout up to [`TIMEOUT_BACKOFF_MAX_NS`], resets on a successful steal.
+const TIMEOUT_BACKOFF_MIN_NS: u64 = 4_000;
+/// Cap on the post-timeout exponential backoff.
+const TIMEOUT_BACKOFF_MAX_NS: u64 = 512_000;
 
 /// Run the lock-less worker on this thread.
 pub fn run<G, C>(comm: &mut C, gen: &G, cfg: &RunConfig, hier: bool) -> ThreadResult
@@ -58,6 +84,8 @@ where
     let mut clock = StateClock::new(comm.now());
     let mut log = TraceLog::new(cfg.trace);
     let mut scratch: Vec<G::Task> = Vec::new();
+    // Exponential backoff across consecutive steal timeouts (hardened mode).
+    let mut steal_backoff_ns = TIMEOUT_BACKOFF_MIN_NS;
 
     // Scalar cells start at 0; the request cell's idle value is -1. Arm it
     // before any exploration (thieves CAS against NO_REQUEST, so until this
@@ -89,7 +117,7 @@ where
             since_poll += 1;
             if since_poll >= cfg.poll_interval {
                 since_poll = 0;
-                service_request(comm, &mut stack, &mut res);
+                service_request(comm, &mut stack, cfg, &mut res);
             }
             if stack.should_release(cfg.release_depth) {
                 release(comm, &mut stack, &mut res);
@@ -98,7 +126,7 @@ where
         }
         // Out of work: deny any in-flight request, reclaim dead area space,
         // and publish the tri-state marker.
-        service_request(comm, &mut stack, &mut res);
+        service_request(comm, &mut stack, cfg, &mut res);
         compact(comm, &mut stack);
         comm.put(me, vars::WORK_AVAIL, vars::OUT_OF_WORK);
 
@@ -111,7 +139,7 @@ where
                 let avail = comm.get(v, vars::WORK_AVAIL);
                 if avail > 0 {
                     { let now = comm.now(); clock.transition(State::Stealing, now); log.enter(State::Stealing, now); }
-                    if steal(comm, &mut stack, v, &mut res, &mut log) {
+                    if steal(comm, &mut stack, v, cfg, &mut steal_backoff_ns, &mut res, &mut log) {
                         comm.put(me, vars::WORK_AVAIL, 0);
                         continue 'outer;
                     }
@@ -122,7 +150,7 @@ where
                 }
                 // Keep the protocol responsive while we wander: deny thieves
                 // that CASed us on a stale read.
-                deny_request(comm, &mut res);
+                deny_request(comm, cfg, &mut res);
             }
             if !all_out {
                 continue;
@@ -130,13 +158,23 @@ where
 
             // ------------------------------------------------ Terminating
             { let now = comm.now(); clock.transition(State::Terminating, now); log.enter(State::Terminating, now); }
-            if barrier_wait(comm, &mut stack, &mut probe, &mut res, &mut log) {
+            if barrier_wait(comm, &mut stack, &mut probe, cfg, &mut steal_backoff_ns, &mut res, &mut log) {
                 break 'outer;
             }
             comm.put(me, vars::WORK_AVAIL, 0);
             continue 'outer;
         }
     }
+
+    // Premature-termination detector: a thread leaving through the barrier
+    // with work still in hand means the termination protocol fired early
+    // under this (possibly fault-injected) schedule.
+    debug_assert!(
+        stack.is_local_empty() && stack.avail == 0,
+        "thread {me} terminated holding work: local={} avail={}",
+        stack.local_len(),
+        stack.avail
+    );
 
     let (state_ns, transitions) = clock.finish(comm.now());
     res.state_ns = state_ns;
@@ -176,9 +214,12 @@ where
     res.reacquires += 1;
 }
 
-/// Owner: answer a pending steal request, granting half the available
-/// chunks (§3.3.2) or denying with amount 0. Two remote writes + local reset.
-fn service_request<T, C>(comm: &mut C, stack: &mut DfsStack<T>, res: &mut ThreadResult)
+/// Owner: atomically claim a pending request before acting on it (hardened
+/// mode only — see the module docs). Returns the thief's id if we now own
+/// the request. In fault-free mode the claim is implicit (`get` alone) and
+/// the caller resets the cell after responding, preserving the paper's op
+/// sequence bit-exactly.
+fn claim_request<T, C>(comm: &mut C, cfg: &RunConfig) -> Option<usize>
 where
     T: Item,
     C: Comm<T>,
@@ -186,9 +227,31 @@ where
     let me = comm.my_id();
     let req = comm.get(me, vars::REQUEST); // local read
     if req == vars::NO_REQUEST {
-        return;
+        return None;
     }
-    let thief = req as usize;
+    if cfg.steal_timeout_ns.is_some() {
+        // Claim-by-CAS: exactly one of {us, the retracting thief} wins the
+        // transition `thief → NO_REQUEST`. Losing means the thief retracted
+        // between our read and now — touch nothing, especially not its
+        // response cells (it may already be mid-steal against someone else).
+        if comm.cas(me, vars::REQUEST, req, vars::NO_REQUEST) != req {
+            return None;
+        }
+    }
+    Some(req as usize)
+}
+
+/// Owner: answer a pending steal request, granting half the available
+/// chunks (§3.3.2) or denying with amount 0. Two remote writes + local reset.
+fn service_request<T, C>(comm: &mut C, stack: &mut DfsStack<T>, cfg: &RunConfig, res: &mut ThreadResult)
+where
+    T: Item,
+    C: Comm<T>,
+{
+    let me = comm.my_id();
+    let Some(thief) = claim_request(comm, cfg) else {
+        return;
+    };
     let give = DfsStack::<T>::steal_half_amount(stack.avail);
     if give > 0 {
         let offset = stack.grant(give);
@@ -201,21 +264,24 @@ where
     } else {
         comm.put(thief, vars::RESP_AMT, 0);
     }
-    comm.put(me, vars::REQUEST, vars::NO_REQUEST); // local reset
+    if cfg.steal_timeout_ns.is_none() {
+        comm.put(me, vars::REQUEST, vars::NO_REQUEST); // local reset
+    }
 }
 
 /// Deny a pending request outright (used when we have nothing to give and
 /// are not in the Working state).
-fn deny_request<T, C>(comm: &mut C, res: &mut ThreadResult)
+fn deny_request<T, C>(comm: &mut C, cfg: &RunConfig, res: &mut ThreadResult)
 where
     T: Item,
     C: Comm<T>,
 {
     let me = comm.my_id();
-    let req = comm.get(me, vars::REQUEST);
-    if req != vars::NO_REQUEST {
-        comm.put(req as usize, vars::RESP_AMT, 0);
-        comm.put(me, vars::REQUEST, vars::NO_REQUEST);
+    if let Some(thief) = claim_request(comm, cfg) {
+        comm.put(thief, vars::RESP_AMT, 0);
+        if cfg.steal_timeout_ns.is_none() {
+            comm.put(me, vars::REQUEST, vars::NO_REQUEST);
+        }
         let _ = res;
     }
 }
@@ -241,10 +307,14 @@ where
 }
 
 /// Thief: the §3.3.3 request/response steal. Returns true if work arrived.
+/// With [`RunConfig::steal_timeout_ns`] armed, an unresponsive victim is
+/// abandoned via the CAS retract described in the module docs.
 fn steal<T, C>(
     comm: &mut C,
     stack: &mut DfsStack<T>,
     victim: usize,
+    cfg: &RunConfig,
+    backoff_ns: &mut u64,
     res: &mut ThreadResult,
     log: &mut TraceLog,
 ) -> bool
@@ -263,12 +333,44 @@ where
         log.steal_fail(victim, comm.now());
         return false;
     }
+    let mut deadline = cfg.steal_timeout_ns.map(|d| comm.now() + d);
+    let mut dog = Watchdog::new("distmem steal response wait");
     // Wait for the victim's answer on our own (local-affinity) cell.
     loop {
+        dog.tick();
         let amt = comm.get(me, vars::RESP_AMT);
         if amt == vars::RESP_PENDING {
+            if let Some(dl) = deadline {
+                if comm.now() >= dl {
+                    res.steal_timeouts += 1;
+                    log.steal_timeout(victim, comm.now());
+                    // Retract: withdraw the request if — and only if — the
+                    // victim has not claimed it yet.
+                    let seen = comm.cas(victim, vars::REQUEST, me as i64, vars::NO_REQUEST);
+                    if seen == me as i64 {
+                        // Won: the victim never observed us and (with the
+                        // claim-CAS on its side) never will — no grant can
+                        // exist. Back off and re-probe elsewhere.
+                        res.retracts_won += 1;
+                        res.steals_failed += 1;
+                        res.steal_retries += 1;
+                        log.retract(victim, true, comm.now());
+                        res.timeout_backoff_ns += *backoff_ns;
+                        comm.advance_idle(*backoff_ns);
+                        *backoff_ns = (*backoff_ns * 2).min(TIMEOUT_BACKOFF_MAX_NS);
+                        return false;
+                    }
+                    // Lost: the victim claimed the request at an earlier
+                    // virtual time, so a grant or denial is already on its
+                    // way to our response cells. Disarm and consume it —
+                    // the chunk must be taken exactly once.
+                    res.retracts_lost += 1;
+                    log.retract(victim, false, comm.now());
+                    deadline = None;
+                }
+            }
             // Stay responsive to thieves that CASed us on a stale read.
-            deny_request(comm, res);
+            deny_request(comm, cfg, res);
             comm.advance_idle(RESPONSE_BACKOFF_NS);
             continue;
         }
@@ -287,6 +389,7 @@ where
         res.steals_ok += 1;
         res.chunks_stolen += amt as u64;
         log.steal_ok(victim, amt as u64, comm.now());
+        *backoff_ns = TIMEOUT_BACKOFF_MIN_NS;
         return true;
     }
 }
@@ -298,6 +401,8 @@ fn barrier_wait<T, C>(
     comm: &mut C,
     stack: &mut DfsStack<T>,
     probe: &mut ProbeOrder,
+    cfg: &RunConfig,
+    backoff_ns: &mut u64,
     res: &mut ThreadResult,
     log: &mut TraceLog,
 ) -> bool
@@ -308,24 +413,136 @@ where
     if TerminationBarrier::enter(comm) {
         TerminationBarrier::announce_root(comm);
     }
+    let mut dog = Watchdog::new("distmem termination barrier");
     loop {
+        dog.tick();
         if TerminationBarrier::term_seen(comm) {
             TerminationBarrier::propagate(comm);
             return true;
         }
-        deny_request(comm, res);
+        deny_request(comm, cfg, res);
         if let Some(v) = probe.one() {
             res.probes += 1;
             if comm.get(v, vars::WORK_AVAIL) > 0 {
                 TerminationBarrier::leave(comm);
-                if steal(comm, stack, v, res, log) {
+                if steal(comm, stack, v, cfg, backoff_ns, res, log) {
                     return false;
                 }
                 if TerminationBarrier::enter(comm) {
                     TerminationBarrier::announce_root(comm);
                 }
+                dog.reset(); // barrier population changed — progress
             }
         }
         comm.advance_idle(BARRIER_BACKOFF_NS);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algorithm;
+    use pgas::sim::SimCluster;
+    use pgas::MachineModel;
+
+    const K: usize = 2;
+    const TOTAL_ITEMS: u64 = 4; // victim starts with 4 items (2 local + 1 shared chunk)
+
+    /// One victim/thief race at a given victim stall length. The victim
+    /// releases one 2-item chunk, stalls `delay_ns`, then services once —
+    /// racing the thief's timeout/retract. Returns
+    /// `(victim_remaining_items, thief_items, retracts_won, retracts_lost, final_request_cell)`.
+    fn retract_race(delay_ns: u64, timeout_ns: u64) -> (u64, u64, u64, u64, i64) {
+        let mut cfg = RunConfig::new(Algorithm::DistMem, K);
+        cfg.steal_timeout_ns = Some(timeout_ns);
+        let cluster: SimCluster<u64> =
+            SimCluster::new(MachineModel::kittyhawk(), 2, vars::space_config());
+        let report = cluster.run(|comm| {
+            let me = comm.my_id();
+            comm.put(me, vars::REQUEST, vars::NO_REQUEST);
+            let mut stack: DfsStack<u64> = DfsStack::new(K);
+            let mut res = ThreadResult::default();
+            let mut log = TraceLog::new(false);
+            if me == 0 {
+                // Victim: 4 items, one chunk released to the shared region.
+                for i in 0..TOTAL_ITEMS {
+                    stack.push(i);
+                }
+                release(comm, &mut stack, &mut res);
+                // Stall (an unresponsive owner), then service once.
+                comm.advance_idle(delay_ns);
+                service_request(comm, &mut stack, &cfg, &mut res);
+                [stack.local_len() as u64 + stack.avail as u64 * K as u64, 0, 0, 0, 0]
+            } else {
+                // Thief: single hardened steal attempt against thread 0.
+                let mut backoff = TIMEOUT_BACKOFF_MIN_NS;
+                let got = steal(comm, &mut stack, 0, &cfg, &mut backoff, &mut res, &mut log);
+                assert_eq!(
+                    got,
+                    stack.local_len() > 0,
+                    "steal outcome must match items in hand"
+                );
+                [
+                    stack.local_len() as u64,
+                    1,
+                    res.retracts_won,
+                    res.retracts_lost,
+                    res.steal_timeouts,
+                ]
+            }
+        });
+        let victim = report.results[0];
+        let thief = report.results[1];
+        (
+            victim[0],
+            thief[0],
+            thief[2],
+            thief[3],
+            report.final_scalar(0, vars::REQUEST),
+        )
+    }
+
+    /// The acceptance-criterion test: sweeping the victim's stall across the
+    /// timeout boundary drives every interleaving of retract vs. late grant,
+    /// and in every single one the chunk is neither duplicated nor lost,
+    /// the request cell ends clean, and both retract outcomes are observed.
+    #[test]
+    fn retract_never_duplicates_or_loses_a_chunk() {
+        let timeout_ns = 50_000;
+        let mut won = 0u64;
+        let mut lost = 0u64;
+        let mut granted_runs = 0u64;
+        // Coarse sweep over the whole race window plus a fine sweep around
+        // the timeout boundary, where the retract and the victim's claim
+        // interleave at single-op granularity.
+        let coarse = (0..60).map(|i| i * 5_000);
+        let fine = (0..2_000).map(|i| 30_000 + i * 25);
+        for delay in coarse.chain(fine) {
+            let (victim_items, thief_items, w, l, req_cell) = retract_race(delay, timeout_ns);
+            assert_eq!(
+                victim_items + thief_items,
+                TOTAL_ITEMS,
+                "conservation violated at delay={delay}: victim={victim_items} thief={thief_items}"
+            );
+            assert_eq!(req_cell, vars::NO_REQUEST, "request cell left dirty at delay={delay}");
+            won += w;
+            lost += l;
+            if thief_items > 0 {
+                granted_runs += 1;
+            }
+        }
+        assert!(won > 0, "sweep never produced a successful retract");
+        assert!(lost > 0, "sweep never produced a retract racing a late grant");
+        assert!(granted_runs > 0, "sweep never produced a grant");
+    }
+
+    /// Determinism: the same stall/timeout parameters give bit-identical
+    /// outcomes across repeated runs (the race is virtual-time-scheduled,
+    /// not wall-clock-scheduled).
+    #[test]
+    fn retract_race_is_deterministic() {
+        for delay in [0, 42_000, 49_000, 51_000, 120_000] {
+            assert_eq!(retract_race(delay, 50_000), retract_race(delay, 50_000));
+        }
     }
 }

@@ -65,7 +65,8 @@ where
 {
     let machine_name = machine.name;
     let cluster: SimCluster<G::Task> = SimCluster::new(machine, nthreads, vars::space_config())
-        .with_lookahead(cfg.sim_lookahead);
+        .with_lookahead(cfg.sim_lookahead)
+        .with_faults(cfg.faults);
     let report = cluster.run(|comm| worker(comm, gen, cfg));
     assemble(
         cfg,

@@ -34,6 +34,8 @@
 //! assert_eq!(report.total_nodes, preset.expected.nodes);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod barrier;
 pub mod config;
 pub mod distmem;
@@ -49,6 +51,7 @@ pub mod state;
 pub mod taskgen;
 pub mod trace;
 pub mod vars;
+pub mod watchdog;
 
 pub use config::{Algorithm, RunConfig};
 pub use engine::{run_native, run_sim, seq_run, worker};

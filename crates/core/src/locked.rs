@@ -27,6 +27,7 @@ use crate::state::{State, StateClock};
 use crate::taskgen::TaskGen;
 use crate::trace::TraceLog;
 use crate::vars;
+use crate::watchdog::Watchdog;
 
 /// Termination-detection style (the §3.1 → §3.3.1 refinement).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -286,7 +287,9 @@ where
     if TerminationBarrier::enter(comm) {
         TerminationBarrier::announce_root(comm);
     }
+    let mut dog = Watchdog::new("streamlined termination barrier");
     loop {
+        dog.tick();
         if TerminationBarrier::term_seen(comm) {
             TerminationBarrier::propagate(comm);
             return true;
@@ -303,6 +306,8 @@ where
                 if TerminationBarrier::enter(comm) {
                     TerminationBarrier::announce_root(comm);
                 }
+                // Seeing (even losing) work is observable progress.
+                dog.reset();
             }
         }
         comm.advance_idle(BARRIER_BACKOFF_NS);

@@ -24,6 +24,7 @@ use crate::stack::DfsStack;
 use crate::state::{State, StateClock};
 use crate::taskgen::TaskGen;
 use crate::trace::TraceLog;
+use crate::watchdog::Watchdog;
 
 /// Steal request (meta unused).
 pub const TAG_REQ: i64 = 1;
@@ -36,6 +37,11 @@ pub const TAG_NOWORK: i64 = 3;
 const RESPONSE_BACKOFF_NS: u64 = 2_000;
 /// Backoff between idle-loop iterations.
 const IDLE_BACKOFF_NS: u64 = 5_000;
+/// Initial post-timeout backoff; doubles per consecutive timeout up to
+/// [`TIMEOUT_BACKOFF_MAX_NS`], resets on a successful steal.
+const TIMEOUT_BACKOFF_MIN_NS: u64 = 4_000;
+/// Cap on the post-timeout exponential backoff.
+const TIMEOUT_BACKOFF_MAX_NS: u64 = 512_000;
 
 /// Run the message-passing worker on this thread.
 pub fn run<G, C>(comm: &mut C, gen: &G, cfg: &RunConfig) -> ThreadResult
@@ -55,6 +61,13 @@ where
     // Cumulative WORK-message counts for the termination token.
     let mut work_sent: i64 = 0;
     let mut work_recv: i64 = 0;
+    // Timeout hardening (docs/faults.md): responses still outstanding from
+    // victims we timed out on. Grants are counted by the token ring, so a
+    // late WORK message *must* eventually be consumed — the drain below does
+    // that — or the ring would never balance. Stays 0 (and the drain is
+    // never even probed) unless `cfg.steal_timeout_ns` is armed.
+    let mut pending_responses: usize = 0;
+    let mut timeout_backoff = TIMEOUT_BACKOFF_MIN_NS;
 
     if me == 0 {
         stack.push(gen.root());
@@ -89,6 +102,26 @@ where
             // Deny whatever arrived while we were idle.
             service_requests(comm, &mut stack, cfg, &mut work_sent, &mut res, &mut log);
 
+            // Drain responses from victims we previously timed out on. A
+            // late WORK grant is still work in hand — and its consumption is
+            // required for the ring's sent/recv balance.
+            if pending_responses > 0 {
+                if let Some(m) = comm.try_recv(Some(TAG_WORK)) {
+                    pending_responses -= 1;
+                    work_recv += 1;
+                    stack.push_all(&m.payload);
+                    res.steals_ok += 1;
+                    res.chunks_stolen += (m.payload.len() / stack.k.max(1)) as u64;
+                    log.steal_ok(m.src, 1, comm.now());
+                    timeout_backoff = TIMEOUT_BACKOFF_MIN_NS;
+                    continue 'outer;
+                }
+                // With no request in flight, any NOWORK here is late.
+                while pending_responses > 0 && comm.try_recv(Some(TAG_NOWORK)).is_some() {
+                    pending_responses -= 1;
+                }
+            }
+
             if next_victim >= victims.len() {
                 victims = probe.cycle();
                 next_victim = 0;
@@ -114,16 +147,32 @@ where
             // the TERM check we would wait forever. A WORK grant cannot
             // race this way because grants are counted by the token.
             let mut term_raced = false;
+            let mut timed_out = false;
+            let deadline = cfg.steal_timeout_ns.map(|d| comm.now() + d);
+            let mut dog = Watchdog::new("mpi-ws steal response wait");
             let granted = loop {
+                dog.tick();
                 if let Some(m) = comm.try_recv(Some(TAG_WORK)) {
+                    // Work in hand, whether from `v` or a late grant from an
+                    // earlier timed-out victim. In the late case one
+                    // outstanding response was consumed while `v`'s becomes
+                    // outstanding, so `pending_responses` is unchanged
+                    // either way (we abandon `v`'s response by breaking out).
                     work_recv += 1;
                     stack.push_all(&m.payload);
                     res.steals_ok += 1;
                     res.chunks_stolen += (m.payload.len() / stack.k.max(1)) as u64;
-                    log.steal_ok(v, 1, comm.now());
+                    log.steal_ok(m.src, 1, comm.now());
+                    timeout_backoff = TIMEOUT_BACKOFF_MIN_NS;
                     break true;
                 }
-                if comm.try_recv(Some(TAG_NOWORK)).is_some() {
+                if let Some(m) = comm.try_recv(Some(TAG_NOWORK)) {
+                    if m.src != v {
+                        // A late denial from an earlier timed-out victim;
+                        // keep waiting for v's answer.
+                        pending_responses = pending_responses.saturating_sub(1);
+                        continue;
+                    }
                     res.steals_failed += 1;
                     log.steal_fail(v, comm.now());
                     break false;
@@ -132,12 +181,35 @@ where
                     term_raced = true;
                     break false;
                 }
+                if let Some(dl) = deadline {
+                    if comm.now() >= dl {
+                        // Abandon the unresponsive victim; its eventual
+                        // WORK/NOWORK is drained at the top of the search
+                        // loop (or classified by source above).
+                        res.steal_timeouts += 1;
+                        res.steal_retries += 1;
+                        res.steals_failed += 1;
+                        log.steal_timeout(v, comm.now());
+                        pending_responses += 1;
+                        timed_out = true;
+                        break false;
+                    }
+                }
                 service_requests(comm, &mut stack, cfg, &mut work_sent, &mut res, &mut log);
                 comm.advance_idle(RESPONSE_BACKOFF_NS);
             };
             { let now = comm.now(); clock.transition(State::Searching, now); log.enter(State::Searching, now); }
             if granted {
                 continue 'outer;
+            }
+            if timed_out {
+                // Back off, then re-probe the next victim directly — no ring
+                // step: the timed-out request proves nothing about global
+                // quiescence.
+                res.timeout_backoff_ns += timeout_backoff;
+                comm.advance_idle(timeout_backoff);
+                timeout_backoff = (timeout_backoff * 2).min(TIMEOUT_BACKOFF_MAX_NS);
+                continue;
             }
 
             // ---------------------------------------------- Terminating
@@ -150,6 +222,14 @@ where
         }
     }
 
+    // Premature-termination detector: the ring announced while this thread
+    // still held work — impossible under a correct sent/recv accounting.
+    debug_assert!(
+        stack.is_local_empty(),
+        "thread {me} terminated holding {} local nodes",
+        stack.local_len()
+    );
+
     // Late requests may still sit in the mailbox; they are unanswerable and
     // harmless (their senders terminated through the same announcement).
     mpisim::drain_mailbox(comm);
@@ -160,6 +240,65 @@ where
     res.comm = comm.stats().clone();
     res.events = log.into_events();
     res
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{Algorithm, RunConfig};
+    use crate::engine::run_sim;
+    use crate::taskgen::UtsGen;
+    use pgas::{FaultPlan, MachineModel};
+    use uts_tree::presets;
+
+    /// Under seeded fault schedules with the request timeout armed, every
+    /// run still counts the tree exactly, and at least one schedule in the
+    /// sweep actually exercises the timeout/re-probe path (so the late-grant
+    /// and late-denial drains are not dead code).
+    #[test]
+    fn timeout_reprobe_conserves_nodes_under_faults() {
+        let p = presets::t_tiny();
+        let gen = UtsGen::new(p.spec);
+        let mut total_timeouts = 0u64;
+        for seed in 0..6u64 {
+            let mut cfg = RunConfig::new(Algorithm::MpiWs, 2);
+            cfg.faults = FaultPlan::seeded(seed);
+            cfg.steal_timeout_ns = Some(25_000);
+            let report = run_sim(MachineModel::kittyhawk(), 6, &gen, &cfg);
+            assert_eq!(
+                report.total_nodes, p.expected.nodes,
+                "seed {seed}: lost/duplicated nodes under faults"
+            );
+            total_timeouts += report
+                .per_thread
+                .iter()
+                .map(|t| t.steal_timeouts)
+                .sum::<u64>();
+        }
+        assert!(
+            total_timeouts > 0,
+            "no fault schedule fired a steal timeout — hardening untested"
+        );
+    }
+
+    /// Faulted, timeout-armed runs are bit-deterministic: the whole
+    /// per-thread counter set matches across repeated runs.
+    #[test]
+    fn faulted_timeout_runs_are_deterministic() {
+        let p = presets::t_tiny();
+        let gen = UtsGen::new(p.spec);
+        let mut cfg = RunConfig::new(Algorithm::MpiWs, 2);
+        cfg.faults = FaultPlan::seeded(3);
+        cfg.steal_timeout_ns = Some(25_000);
+        let a = run_sim(MachineModel::kittyhawk(), 6, &gen, &cfg);
+        let b = run_sim(MachineModel::kittyhawk(), 6, &gen, &cfg);
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        for (x, y) in a.per_thread.iter().zip(&b.per_thread) {
+            assert_eq!(x.nodes, y.nodes);
+            assert_eq!(x.steal_timeouts, y.steal_timeouts);
+            assert_eq!(x.steal_retries, y.steal_retries);
+            assert_eq!(x.timeout_backoff_ns, y.timeout_backoff_ns);
+        }
+    }
 }
 
 /// Answer every queued steal request: a chunk of the `k` oldest local nodes

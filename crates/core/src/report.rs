@@ -26,6 +26,18 @@ pub struct ThreadResult {
     pub probes: u64,
     /// Steal requests this thread serviced for others (distmem/mpi).
     pub requests_serviced: u64,
+    /// Steal requests abandoned after the virtual-time timeout expired
+    /// (0 unless `RunConfig::steal_timeout_ns` is armed).
+    pub steal_timeouts: u64,
+    /// Timeout retracts that withdrew the request before the victim saw it.
+    pub retracts_won: u64,
+    /// Timeout retracts that lost to a concurrent victim response (which was
+    /// then consumed normally — never dropped).
+    pub retracts_lost: u64,
+    /// Steal attempts re-issued after a timeout.
+    pub steal_retries: u64,
+    /// Nanoseconds spent in post-timeout exponential backoff.
+    pub timeout_backoff_ns: u64,
     /// Nanoseconds in each Figure-1 state.
     pub state_ns: [u64; N_STATES],
     /// State transitions taken.
@@ -51,6 +63,11 @@ impl ThreadResult {
         self.chunks_stolen += o.chunks_stolen;
         self.probes += o.probes;
         self.requests_serviced += o.requests_serviced;
+        self.steal_timeouts += o.steal_timeouts;
+        self.retracts_won += o.retracts_won;
+        self.retracts_lost += o.retracts_lost;
+        self.steal_retries += o.steal_retries;
+        self.timeout_backoff_ns += o.timeout_backoff_ns;
         for i in 0..N_STATES {
             self.state_ns[i] += o.state_ns[i];
         }

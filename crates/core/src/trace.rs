@@ -45,6 +45,25 @@ pub enum Event {
         /// Release time.
         t_ns: u64,
     },
+    /// A steal request timed out awaiting `victim`'s response (fault
+    /// hardening; see `docs/faults.md`).
+    StealTimeout {
+        /// Expiry time.
+        t_ns: u64,
+        /// The unresponsive victim.
+        victim: usize,
+    },
+    /// Outcome of the timeout retract against `victim`.
+    Retract {
+        /// Retract time.
+        t_ns: u64,
+        /// The abandoned victim.
+        victim: usize,
+        /// `true`: the request was withdrawn before the victim saw it.
+        /// `false`: the victim's response had already landed and was
+        /// consumed instead.
+        won: bool,
+    },
 }
 
 /// Per-thread event recorder. When disabled (the default) every call is a
@@ -97,6 +116,22 @@ impl TraceLog {
     pub fn release(&mut self, t_ns: u64) {
         if self.enabled {
             self.events.push(Event::Release { t_ns });
+        }
+    }
+
+    /// Record a steal-request timeout.
+    #[inline]
+    pub fn steal_timeout(&mut self, victim: usize, t_ns: u64) {
+        if self.enabled {
+            self.events.push(Event::StealTimeout { t_ns, victim });
+        }
+    }
+
+    /// Record a timeout retract and its outcome.
+    #[inline]
+    pub fn retract(&mut self, victim: usize, won: bool, t_ns: u64) {
+        if self.enabled {
+            self.events.push(Event::Retract { t_ns, victim, won });
         }
     }
 

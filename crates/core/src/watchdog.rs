@@ -1,0 +1,115 @@
+//! Livelock watchdog for protocol spin loops.
+//!
+//! The steal and termination protocols contain loops that are *supposed* to
+//! be bounded — a thief spinning on its response cell, a thread parked in
+//! the termination barrier — but whose bound rests on a liveness argument
+//! (every victim eventually services or denies, the root eventually
+//! announces). Fault injection deliberately stresses those arguments, so
+//! each such loop carries a [`Watchdog`]: a **purely local** iteration
+//! counter that panics in debug builds (tests, the chaos suite) once a loop
+//! exceeds a bound no legitimate schedule approaches. Release builds pay a
+//! single increment-and-compare and never panic.
+//!
+//! The watchdog must never issue communication operations: a `Comm` call
+//! would advance virtual time and perturb the very schedule being checked.
+//! Counting loop iterations keeps the detector invisible to the simulation.
+
+/// Iteration counter that flags livelock in debug builds.
+#[derive(Debug)]
+pub struct Watchdog {
+    label: &'static str,
+    limit: u64,
+    ticks: u64,
+}
+
+impl Watchdog {
+    /// Default iteration bound. Generous: legitimate spin loops run a few
+    /// thousand iterations even under heavy fault schedules; tens of
+    /// millions means nobody is making progress.
+    pub const DEFAULT_LIMIT: u64 = 50_000_000;
+
+    /// A watchdog with the default bound. `label` names the guarded loop in
+    /// the panic message.
+    pub fn new(label: &'static str) -> Watchdog {
+        Watchdog::with_limit(label, Watchdog::DEFAULT_LIMIT)
+    }
+
+    /// A watchdog with an explicit iteration bound (for tests).
+    pub fn with_limit(label: &'static str, limit: u64) -> Watchdog {
+        Watchdog {
+            label,
+            limit,
+            ticks: 0,
+        }
+    }
+
+    /// Count one loop iteration. Panics in debug builds when the bound is
+    /// exceeded; a no-op beyond the increment in release builds.
+    #[inline]
+    pub fn tick(&mut self) {
+        self.ticks += 1;
+        if cfg!(debug_assertions) && self.ticks >= self.limit {
+            panic!(
+                "watchdog `{}`: {} iterations without progress — livelock",
+                self.label, self.ticks
+            );
+        }
+    }
+
+    /// Restart the count after observable progress (a response arrived, the
+    /// barrier population changed).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.ticks = 0;
+    }
+
+    /// Iterations counted since the last [`Watchdog::reset`].
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_below_limit_are_silent() {
+        let mut dog = Watchdog::with_limit("test", 100);
+        for _ in 0..99 {
+            dog.tick();
+        }
+        assert_eq!(dog.ticks(), 99);
+        dog.reset();
+        assert_eq!(dog.ticks(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn exceeding_limit_panics_in_debug() {
+        let result = std::panic::catch_unwind(|| {
+            let mut dog = Watchdog::with_limit("doomed-loop", 10);
+            for _ in 0..10 {
+                dog.tick();
+            }
+        });
+        let err = result.expect_err("watchdog must fire");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("doomed-loop"), "panic names the loop: {msg}");
+    }
+
+    #[test]
+    fn reset_defers_the_bound() {
+        let mut dog = Watchdog::with_limit("resettable", 10);
+        for _ in 0..3 {
+            for _ in 0..9 {
+                dog.tick();
+            }
+            dog.reset(); // progress observed — never fires
+        }
+        assert_eq!(dog.ticks(), 0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Deterministic fault injection for the virtual-time simulator.
+//!
+//! Real PGAS clusters have congested links, stalled ranks, and permanently
+//! slow ("straggler") nodes. A [`FaultPlan`] reproduces those pathologies
+//! *inside the cost accounting* of [`crate::sim::SimComm`]: every fault is a
+//! pure function of the plan's seed and the issuing thread's **virtual**
+//! time, so a faulted schedule is exactly as deterministic as a fault-free
+//! one — bit-identical across runs and across both conductors (fast/fiber
+//! and reference OS-thread). No wall-clock time, no shared mutable state,
+//! no RNG stream whose consumption order could differ between conductors.
+//!
+//! Four fault classes, mirroring what distributed work-stealing runtimes
+//! harden against (see `docs/faults.md`):
+//!
+//! - **Link latency spikes**: in hashed windows of virtual time, priced
+//!   operations between a given (source, destination) thread pair cost a
+//!   multiple of their modelled cost — a congested or flaky link.
+//! - **Thread stalls**: in hashed windows, a thread makes no progress; an
+//!   operation issued inside a stalled window completes only after the
+//!   window ends (an OS descheduling event, a GC pause, a NIC hiccup).
+//! - **Stragglers**: a hashed subset of threads pays a permanent multiplier
+//!   on `work()` time — a slow or oversubscribed node.
+//! - **Lock stretching**: lock-class operations cost a multiple of their
+//!   modelled cost, lengthening every critical section and widening the
+//!   races the locked algorithms are exposed to.
+//!
+//! [`FaultPlan::none()`] is inert: the simulator checks a single boolean and
+//! touches nothing else, so fault-free runs are bit-identical to a build
+//! without this module.
+//!
+//! Multipliers use x16 fixed point (`mult_x16 = 24` means 1.5x) to keep all
+//! arithmetic in integers — floats would invite platform-dependent rounding.
+
+use crate::comm::OpClass;
+
+/// Domain-separation salts for the decision hashes.
+const SPIKE_SALT: u64 = 0x9E6C_63D0_876A_3F6B;
+const STALL_SALT: u64 = 0xD1B5_4A32_D192_ED03;
+const STRAGGLER_SALT: u64 = 0x8CB9_2BA7_2F3D_8DD7;
+
+/// Mix (seed, salt, a, b) into a uniform u64 (splitmix64 finalizer). A pure
+/// function: both conductors evaluate it to the same value at the same
+/// virtual instant.
+fn mix(seed: u64, salt: u64, a: u64, b: u64) -> u64 {
+    let mut x = seed ^ salt;
+    x = x.wrapping_add(a.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    x = x.wrapping_add(b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// A seeded, deterministic fault schedule for one simulated run.
+///
+/// Plain `Copy` data: the plan is cloned into every [`crate::sim::SimComm`]
+/// handle at construction, so fault decisions never touch shared state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FaultPlan {
+    /// Master switch. `false` short-circuits every query; all other fields
+    /// are ignored.
+    pub enabled: bool,
+    /// Seed from which every fault decision is hashed.
+    pub seed: u64,
+    /// Virtual-time window (ns) for spike and stall decisions. Each window
+    /// of each link (or thread) is independently spiked (or stalled).
+    pub window_ns: u64,
+    /// Per-mille probability that a directed link's window is spiked.
+    pub spike_per_mille: u32,
+    /// Cost multiplier (x16 fixed point) for operations crossing a spiked
+    /// link window. `16` = no-op, `128` = 8x latency.
+    pub spike_mult_x16: u32,
+    /// Per-mille probability that a thread's window is a stall: operations
+    /// issued inside it complete only after the window (run of windows) ends.
+    pub stall_per_mille: u32,
+    /// Per-mille probability that a thread is a permanent straggler.
+    pub straggler_per_mille: u32,
+    /// `work()` multiplier (x16 fixed point) for straggler threads.
+    pub straggler_mult_x16: u32,
+    /// Cost multiplier (x16 fixed point) on lock-class operations.
+    pub lock_mult_x16: u32,
+}
+
+impl FaultPlan {
+    /// The inert plan: no faults, zero overhead, bit-identical results.
+    pub const fn none() -> FaultPlan {
+        FaultPlan {
+            enabled: false,
+            seed: 0,
+            window_ns: 0,
+            spike_per_mille: 0,
+            spike_mult_x16: 16,
+            stall_per_mille: 0,
+            straggler_per_mille: 0,
+            straggler_mult_x16: 16,
+            lock_mult_x16: 16,
+        }
+    }
+
+    /// A moderate all-of-the-above chaos profile: ~10% of link windows at 8x
+    /// latency, ~4% of thread windows stalled, ~1 in 8 threads a 4x
+    /// straggler, and 2x lock costs. The schedule (which windows, which
+    /// links, which threads) is entirely determined by `seed`.
+    pub const fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            enabled: true,
+            seed,
+            window_ns: 200_000,
+            spike_per_mille: 100,
+            spike_mult_x16: 128,
+            stall_per_mille: 40,
+            straggler_per_mille: 125,
+            straggler_mult_x16: 64,
+            lock_mult_x16: 32,
+        }
+    }
+
+    /// Is any fault injection active? The simulator's only unconditional
+    /// query — everything else is behind this check.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.enabled
+    }
+
+    /// Is `tid` a permanent straggler under this plan?
+    pub fn is_straggler(&self, tid: usize) -> bool {
+        self.enabled
+            && self.straggler_per_mille > 0
+            && mix(self.seed, STRAGGLER_SALT, tid as u64, 0) % 1000 < self.straggler_per_mille as u64
+    }
+
+    /// Is the directed link `src -> dst` spiked in the window containing
+    /// virtual time `now`?
+    fn link_spiked(&self, src: usize, dst: usize, now: u64) -> bool {
+        self.window_ns > 0
+            && self.spike_per_mille > 0
+            && src != dst
+            && mix(
+                self.seed,
+                SPIKE_SALT,
+                now / self.window_ns,
+                ((src as u64) << 32) | dst as u64,
+            ) % 1000
+                < self.spike_per_mille as u64
+    }
+
+    /// If `tid` is stalled at virtual time `now`, the time at which it may
+    /// resume (the end of the current run of stalled windows); `None` when
+    /// not stalled. Bounded scan so a pathological plan still terminates.
+    fn stall_resume(&self, tid: usize, now: u64) -> Option<u64> {
+        if self.window_ns == 0 || self.stall_per_mille == 0 {
+            return None;
+        }
+        let stalled = |w: u64| {
+            mix(self.seed, STALL_SALT, w, tid as u64) % 1000 < self.stall_per_mille as u64
+        };
+        let mut w = now / self.window_ns;
+        if !stalled(w) {
+            return None;
+        }
+        for _ in 0..64 {
+            if !stalled(w + 1) {
+                break;
+            }
+            w += 1;
+        }
+        Some((w + 1) * self.window_ns)
+    }
+
+    /// Faulted cost of a priced operation issued by `tid` against `peer`'s
+    /// partition at virtual time `now`, given its modelled cost `base`.
+    /// Monotone: never below `base`, so virtual clocks still strictly grow
+    /// and the conductor's lookahead invariant is untouched.
+    pub fn op_cost(&self, tid: usize, peer: usize, class: OpClass, base: u64, now: u64) -> u64 {
+        if !self.enabled {
+            return base;
+        }
+        let mut cost = base;
+        if class == OpClass::Lock && self.lock_mult_x16 > 16 {
+            cost = cost * self.lock_mult_x16 as u64 / 16;
+        }
+        if self.link_spiked(tid, peer, now) {
+            cost = cost * self.spike_mult_x16 as u64 / 16;
+        }
+        if let Some(resume) = self.stall_resume(tid, now) {
+            // The thread is frozen until `resume`; only then does the
+            // operation itself begin.
+            cost += resume - now;
+        }
+        cost.max(base)
+    }
+
+    /// Faulted message flight time over the `src -> dst` link at send time
+    /// `now` (the spike also congests in-flight traffic).
+    pub fn flight_ns(&self, src: usize, dst: usize, base: u64, now: u64) -> u64 {
+        if self.enabled && self.link_spiked(src, dst, now) {
+            base * self.spike_mult_x16 as u64 / 16
+        } else {
+            base
+        }
+    }
+
+    /// Faulted duration of `base` nanoseconds of pure computation on `tid`
+    /// (the straggler multiplier).
+    pub fn work_ns(&self, tid: usize, base: u64) -> u64 {
+        if self.is_straggler(tid) {
+            base * self.straggler_mult_x16 as u64 / 16
+        } else {
+            base
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert() {
+        let p = FaultPlan::none();
+        assert!(!p.is_active());
+        assert_eq!(p.op_cost(0, 1, OpClass::Lock, 1234, 999_999), 1234);
+        assert_eq!(p.work_ns(0, 500), 500);
+        assert_eq!(p.flight_ns(0, 1, 700, 42), 700);
+        assert!(!p.is_straggler(0));
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = FaultPlan::seeded(7);
+        let b = FaultPlan::seeded(7);
+        for t in 0..32 {
+            assert_eq!(a.is_straggler(t), b.is_straggler(t));
+            for now in (0..2_000_000).step_by(61_111) {
+                assert_eq!(
+                    a.op_cost(t, (t + 1) % 32, OpClass::Scalar, 6_000, now),
+                    b.op_cost(t, (t + 1) % 32, OpClass::Scalar, 6_000, now)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = FaultPlan::seeded(1);
+        let b = FaultPlan::seeded(2);
+        let fingerprint = |p: &FaultPlan| -> Vec<u64> {
+            (0..64)
+                .map(|i| p.op_cost(i % 8, (i + 1) % 8, OpClass::Scalar, 6_000, i as u64 * 100_000))
+                .collect()
+        };
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn cost_is_never_below_base() {
+        let p = FaultPlan::seeded(3);
+        for now in (0..10_000_000).step_by(37_777) {
+            for class in OpClass::all() {
+                assert!(p.op_cost(1, 2, class, 418, now) >= 418);
+            }
+        }
+    }
+
+    #[test]
+    fn lock_stretch_applies_to_lock_class_only() {
+        // A plan with only lock stretching: every lock op is exactly 2x.
+        let p = FaultPlan {
+            enabled: true,
+            seed: 9,
+            window_ns: 0,
+            spike_per_mille: 0,
+            spike_mult_x16: 16,
+            stall_per_mille: 0,
+            straggler_per_mille: 0,
+            straggler_mult_x16: 16,
+            lock_mult_x16: 32,
+        };
+        assert_eq!(p.op_cost(0, 1, OpClass::Lock, 1000, 0), 2000);
+        assert_eq!(p.op_cost(0, 1, OpClass::Scalar, 1000, 0), 1000);
+    }
+
+    #[test]
+    fn stall_delays_until_window_end() {
+        // A plan that stalls every window: an op issued mid-window resumes
+        // at the end of the bounded run of stalled windows.
+        let p = FaultPlan {
+            enabled: true,
+            seed: 4,
+            window_ns: 1_000,
+            spike_per_mille: 0,
+            spike_mult_x16: 16,
+            stall_per_mille: 1000,
+            straggler_per_mille: 0,
+            straggler_mult_x16: 16,
+            lock_mult_x16: 16,
+        };
+        let cost = p.op_cost(0, 0, OpClass::Poll, 10, 500);
+        // 64-window scan bound: resume at (1 + 64) * 1000.
+        assert_eq!(cost, (65_000 - 500) + 10);
+    }
+
+    #[test]
+    fn straggler_set_matches_per_mille_roughly() {
+        let p = FaultPlan::seeded(11);
+        let frac = (0..4096).filter(|&t| p.is_straggler(t)).count() as f64 / 4096.0;
+        // 125 per mille nominal; allow generous sampling slack.
+        assert!(frac > 0.06 && frac < 0.20, "straggler fraction {frac}");
+    }
+
+    #[test]
+    fn spike_is_per_directed_link_and_window() {
+        let p = FaultPlan {
+            enabled: true,
+            seed: 21,
+            window_ns: 10_000,
+            spike_per_mille: 500,
+            spike_mult_x16: 160,
+            stall_per_mille: 0,
+            straggler_per_mille: 0,
+            straggler_mult_x16: 16,
+            lock_mult_x16: 16,
+        };
+        // With 50% of windows spiked at 10x, some window/link combination
+        // must be spiked and some must not be.
+        let mut spiked = 0;
+        let mut clean = 0;
+        for w in 0..64u64 {
+            let c = p.op_cost(0, 1, OpClass::Scalar, 100, w * 10_000);
+            if c == 1000 {
+                spiked += 1;
+            } else if c == 100 {
+                clean += 1;
+            } else {
+                panic!("unexpected cost {c}");
+            }
+        }
+        assert!(spiked > 0 && clean > 0, "spiked={spiked} clean={clean}");
+    }
+}

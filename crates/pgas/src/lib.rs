@@ -50,6 +50,7 @@
 
 pub mod collectives;
 pub mod comm;
+pub mod fault;
 pub mod machine;
 pub mod msg;
 pub mod native;
@@ -58,6 +59,7 @@ pub mod stats;
 
 pub use collectives::Collectives;
 pub use comm::{Comm, OpClass, SpaceConfig};
+pub use fault::FaultPlan;
 pub use machine::{Distance, MachineModel};
 pub use msg::Msg;
 pub use stats::{CommStats, ConductorStats};

@@ -62,6 +62,7 @@ use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::comm::{Comm, Item, OpClass, SpaceConfig};
+use crate::fault::FaultPlan;
 use crate::machine::MachineModel;
 use crate::msg::Msg;
 use crate::stats::{CommStats, ConductorStats};
@@ -172,6 +173,7 @@ struct Shared<T> {
     nthreads: usize,
     machine: MachineModel,
     lookahead: bool,
+    faults: FaultPlan,
 }
 
 // SAFETY: `mem` is only accessed by the baton holder. The conductor admits
@@ -271,6 +273,7 @@ mod fiber {
 struct FiberHub<T: Item> {
     machine: MachineModel,
     nthreads: usize,
+    faults: FaultPlan,
     clocks: Vec<u64>,
     queue: BinaryHeap<Reverse<(u64, usize)>>,
     /// Saved stack pointer of each suspended fiber.
@@ -308,6 +311,7 @@ where
         backend: Backend::Fiber(hub),
         tid: ctx.tid,
         nthreads: unsafe { (*hub).nthreads },
+        faults: unsafe { (*hub).faults },
         lookahead: true,
         local_clock: 0,
         pending_work: 0,
@@ -350,6 +354,7 @@ pub struct SimCluster<T: Item> {
     nthreads: usize,
     cfg: SpaceConfig,
     lookahead: bool,
+    faults: FaultPlan,
     _marker: std::marker::PhantomData<T>,
 }
 
@@ -365,6 +370,7 @@ impl<T: Item> SimCluster<T> {
             nthreads,
             cfg,
             lookahead: true,
+            faults: FaultPlan::none(),
             _marker: std::marker::PhantomData,
         }
     }
@@ -378,6 +384,18 @@ impl<T: Item> SimCluster<T> {
     /// the baseline schedule.
     pub fn with_lookahead(mut self, enabled: bool) -> Self {
         self.lookahead = enabled;
+        self
+    }
+
+    /// Install a deterministic fault schedule (see [`FaultPlan`]).
+    ///
+    /// Faults are priced into the virtual clocks exactly like modelled
+    /// communication costs, so a faulted run is just as deterministic and
+    /// conductor-independent as a fault-free one. The default is
+    /// [`FaultPlan::none()`], which leaves every result bit-identical to a
+    /// cluster without this call.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -410,6 +428,7 @@ impl<T: Item> SimCluster<T> {
         let mut hub = FiberHub {
             machine: self.machine,
             nthreads: n,
+            faults: self.faults,
             clocks: vec![0; n],
             queue: (0..n).map(|tid| Reverse((0u64, tid))).collect(),
             rsps: vec![0; n],
@@ -499,6 +518,7 @@ impl<T: Item> SimCluster<T> {
             nthreads: n,
             machine: self.machine,
             lookahead: self.lookahead,
+            faults: self.faults,
         });
 
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
@@ -593,6 +613,8 @@ pub struct SimComm<T: Item> {
     /// only baton-holders push, and we are the unique holder. `None` means
     /// the queue was empty (every other thread retired or not yet started).
     next_min: Option<(u64, usize)>,
+    /// The active fault schedule (inert by default; see [`FaultPlan`]).
+    faults: FaultPlan,
     stats: CommStats,
     conductor: ConductorStats,
 }
@@ -601,11 +623,13 @@ impl<T: Item> SimComm<T> {
     fn new_threaded(shared: Arc<Shared<T>>, tid: usize) -> Self {
         let nthreads = shared.nthreads;
         let lookahead = shared.lookahead;
+        let faults = shared.faults;
         SimComm {
             backend: Backend::Threads(shared),
             tid,
             nthreads,
             lookahead,
+            faults,
             local_clock: 0,
             pending_work: 0,
             next_min: None,
@@ -644,15 +668,34 @@ impl<T: Item> SimComm<T> {
     }
 
     /// Advance our clock by `cost` (plus pending work) and apply `eff` to the
-    /// global memory once we are the globally earliest thread.
+    /// global memory once we are the globally earliest thread. `peer` is the
+    /// thread whose partition the operation touches (`tid` itself for local
+    /// operations) — the active [`FaultPlan`], if any, prices link faults
+    /// against it.
     ///
     /// Fast path: if even after the advance we still precede the cached
     /// queue minimum, the conductor would hand the baton straight back to
     /// us — skip the scheduler entirely and apply `eff` in place. Ops of
-    /// every class have positive cost under all machine models, so a thread
-    /// cannot fast-path forever: its clock strictly grows and eventually
-    /// crosses `next_min`, forcing a real handoff (no starvation).
-    fn op<R>(&mut self, class: OpClass, cost: u64, eff: impl FnOnce(&mut Mem<T>, u64) -> R) -> R {
+    /// every class have positive cost under all machine models (and the
+    /// fault plan never shrinks a cost), so a thread cannot fast-path
+    /// forever: its clock strictly grows and eventually crosses `next_min`,
+    /// forcing a real handoff (no starvation).
+    fn op<R>(
+        &mut self,
+        class: OpClass,
+        peer: usize,
+        mut cost: u64,
+        eff: impl FnOnce(&mut Mem<T>, u64) -> R,
+    ) -> R {
+        if self.faults.is_active() {
+            // Fault decisions key on the *issue* time (before this op's own
+            // cost is added) — a pure function of state both conductors
+            // share bit-for-bit.
+            let issue = self.local_clock + self.pending_work;
+            let adj = self.faults.op_cost(self.tid, peer, class, cost, issue);
+            self.stats.fault_ns += adj - cost;
+            cost = adj;
+        }
         self.stats.comm_ns += cost;
         let t = self.local_clock + self.pending_work + cost;
         self.pending_work = 0;
@@ -764,7 +807,16 @@ impl<T: Item> Comm<T> for SimComm<T> {
 
     fn work(&mut self, units: u64) {
         let ns = units * self.machine().node_ns;
-        self.pending_work += ns;
+        // Stragglers take longer per node; the surplus is accounted as fault
+        // time, not useful work, so work_ns keeps its fault-free meaning.
+        let adj = if self.faults.is_active() {
+            let a = self.faults.work_ns(self.tid, ns);
+            self.stats.fault_ns += a - ns;
+            a
+        } else {
+            ns
+        };
+        self.pending_work += adj;
         self.stats.work_ns += ns;
     }
 
@@ -776,25 +828,26 @@ impl<T: Item> Comm<T> for SimComm<T> {
     fn poll(&mut self) {
         self.stats.polls += 1;
         let c = self.machine().poll_ns;
-        self.op(OpClass::Poll, c, |_, _| ());
+        let me = self.tid;
+        self.op(OpClass::Poll, me, c, |_, _| ());
     }
 
     fn get(&mut self, thread: usize, var: usize) -> i64 {
         self.stats.gets += 1;
         let c = self.machine().ref_cost(self.tid, thread);
-        self.op(OpClass::Scalar, c, |m, _| m.scalars[thread][var])
+        self.op(OpClass::Scalar, thread, c, |m, _| m.scalars[thread][var])
     }
 
     fn put(&mut self, thread: usize, var: usize, val: i64) {
         self.stats.puts += 1;
         let c = self.machine().ref_cost(self.tid, thread);
-        self.op(OpClass::Scalar, c, |m, _| m.scalars[thread][var] = val)
+        self.op(OpClass::Scalar, thread, c, |m, _| m.scalars[thread][var] = val)
     }
 
     fn cas(&mut self, thread: usize, var: usize, expected: i64, new: i64) -> i64 {
         self.stats.atomics += 1;
         let c = self.machine().atomic_cost(self.tid, thread);
-        self.op(OpClass::Atomic, c, |m, _| {
+        self.op(OpClass::Atomic, thread, c, |m, _| {
             let cell = &mut m.scalars[thread][var];
             let observed = *cell;
             if observed == expected {
@@ -807,7 +860,7 @@ impl<T: Item> Comm<T> for SimComm<T> {
     fn add(&mut self, thread: usize, var: usize, delta: i64) -> i64 {
         self.stats.atomics += 1;
         let c = self.machine().atomic_cost(self.tid, thread);
-        self.op(OpClass::Atomic, c, |m, _| {
+        self.op(OpClass::Atomic, thread, c, |m, _| {
             let cell = &mut m.scalars[thread][var];
             let old = *cell;
             *cell = old + delta;
@@ -817,7 +870,7 @@ impl<T: Item> Comm<T> for SimComm<T> {
 
     fn try_lock(&mut self, thread: usize, lock: usize) -> bool {
         let c = self.machine().lock_cost(self.tid, thread);
-        let ok = self.op(OpClass::Lock, c, |m, _| {
+        let ok = self.op(OpClass::Lock, thread, c, |m, _| {
             let held = &mut m.locks[thread][lock];
             if *held {
                 false
@@ -837,7 +890,7 @@ impl<T: Item> Comm<T> for SimComm<T> {
     fn unlock(&mut self, thread: usize, lock: usize) {
         self.stats.unlocks += 1;
         let c = self.machine().unlock_cost(self.tid, thread);
-        self.op(OpClass::Lock, c, |m, _| {
+        self.op(OpClass::Lock, thread, c, |m, _| {
             assert!(m.locks[thread][lock], "unlock of a free lock");
             m.locks[thread][lock] = false;
         })
@@ -846,7 +899,7 @@ impl<T: Item> Comm<T> for SimComm<T> {
     fn area_len(&mut self, thread: usize) -> usize {
         self.stats.gets += 1;
         let c = self.machine().ref_cost(self.tid, thread);
-        self.op(OpClass::Scalar, c, |m, _| m.areas[thread].len())
+        self.op(OpClass::Scalar, thread, c, |m, _| m.areas[thread].len())
     }
 
     fn area_read(&mut self, thread: usize, offset: usize, len: usize, dst: &mut Vec<T>) {
@@ -855,7 +908,7 @@ impl<T: Item> Comm<T> for SimComm<T> {
         let c = self
             .machine()
             .bulk_cost(self.tid, thread, Self::size_of_items(len));
-        self.op(OpClass::Bulk, c, |m, _| {
+        self.op(OpClass::Bulk, thread, c, |m, _| {
             let area = &m.areas[thread];
             assert!(
                 offset + len <= area.len(),
@@ -874,7 +927,7 @@ impl<T: Item> Comm<T> for SimComm<T> {
         let c = self
             .machine()
             .bulk_cost(self.tid, thread, Self::size_of_items(src.len()));
-        self.op(OpClass::Bulk, c, |m, _| {
+        self.op(OpClass::Bulk, thread, c, |m, _| {
             let area = &mut m.areas[thread];
             if area.len() < offset + src.len() {
                 area.resize(offset + src.len(), T::default());
@@ -886,7 +939,7 @@ impl<T: Item> Comm<T> for SimComm<T> {
     fn area_truncate(&mut self, thread: usize, len: usize) {
         self.stats.puts += 1;
         let c = self.machine().ref_cost(self.tid, thread);
-        self.op(OpClass::Scalar, c, |m, _| {
+        self.op(OpClass::Scalar, thread, c, |m, _| {
             assert!(len <= m.areas[thread].len(), "truncate beyond area length");
             m.areas[thread].truncate(len);
         })
@@ -901,11 +954,18 @@ impl<T: Item> Comm<T> for SimComm<T> {
             meta,
             payload: payload.to_vec(),
         };
-        let flight = self
+        let mut flight = self
             .machine()
             .msg_flight_ns(self.tid, dst, msg.wire_bytes());
+        if self.faults.is_active() {
+            // A spiked link also congests in-flight traffic, keyed on the
+            // send's issue time.
+            let adj = self.faults.flight_ns(self.tid, dst, flight, self.now());
+            self.stats.fault_ns += adj - flight;
+            flight = adj;
+        }
         let overhead = self.machine().msg_overhead_ns;
-        self.op(OpClass::Message, overhead, move |m, now| {
+        self.op(OpClass::Message, dst, overhead, move |m, now| {
             let seq = m.send_seq;
             m.send_seq += 1;
             m.mailboxes[dst].insert((now + flight, seq), msg);
@@ -916,7 +976,7 @@ impl<T: Item> Comm<T> for SimComm<T> {
         self.stats.gets += 1;
         let c = self.machine().local_ref_ns;
         let me = self.tid;
-        self.op(OpClass::Message, c, |m, now| {
+        self.op(OpClass::Message, me, c, |m, now| {
             m.mailboxes[me]
                 .iter()
                 .take_while(|((arrival, _), _)| *arrival <= now)
@@ -927,7 +987,7 @@ impl<T: Item> Comm<T> for SimComm<T> {
     fn try_recv(&mut self, tag: Option<i64>) -> Option<Msg<T>> {
         let c = self.machine().local_ref_ns;
         let me = self.tid;
-        let got = self.op(OpClass::Message, c, |m, now| {
+        let got = self.op(OpClass::Message, me, c, |m, now| {
             let key = m.mailboxes[me]
                 .iter()
                 .take_while(|((arrival, _), _)| *arrival <= now)
@@ -1264,6 +1324,114 @@ mod tests {
             probe_thread.fast_ops > probe_thread.handoffs,
             "probes should mostly stay on the fast path: {probe_thread:?}"
         );
+    }
+
+    /// A contended workload exercising every fault class, for the
+    /// fault-injection equivalence tests below.
+    fn chaos_workload(c: &mut SimComm<u64>) -> u64 {
+        let me = c.my_id();
+        let n = c.n_threads();
+        for i in 0..60u64 {
+            match (me as u64 + i) % 7 {
+                0 => {
+                    c.add((me + 1) % n, 2, 1);
+                }
+                1 => c.work(9 + (i % 4)),
+                2 => c.put((me + i as usize) % n, 0, i as i64),
+                3 => {
+                    let _ = c.get((me + 2 * i as usize) % n, 0);
+                }
+                4 => {
+                    if c.try_lock(i as usize % n, 1) {
+                        c.unlock(i as usize % n, 1);
+                    }
+                }
+                5 => c.send((me + 3) % n, 1, [i as i64; 4], &[i]),
+                _ => {
+                    let _ = c.try_recv(Some(1));
+                }
+            }
+        }
+        c.now()
+    }
+
+    /// An installed `FaultPlan::none()` must be indistinguishable — in every
+    /// modelled quantity, down to the stats — from never calling
+    /// `with_faults` at all.
+    #[test]
+    fn none_plan_is_bit_identical_to_default() {
+        let run = |faults: Option<FaultPlan>| {
+            let mut cluster: SimCluster<u64> =
+                SimCluster::new(MachineModel::kittyhawk(), 8, SpaceConfig::default());
+            if let Some(f) = faults {
+                cluster = cluster.with_faults(f);
+            }
+            cluster.run(chaos_workload)
+        };
+        let plain = run(None);
+        let none = run(Some(FaultPlan::none()));
+        assert_eq!(plain.results, none.results);
+        assert_eq!(plain.makespan_ns, none.makespan_ns);
+        assert_eq!(plain.clocks, none.clocks);
+        assert_eq!(plain.scalars, none.scalars);
+        assert_eq!(plain.stats, none.stats);
+        assert_eq!(plain.conductor, none.conductor);
+        assert_eq!(none.total_stats().fault_ns, 0);
+    }
+
+    /// A *faulted* schedule is exactly as conductor-independent as a
+    /// fault-free one: fast/fiber and reference OS-thread modes agree on
+    /// every modelled quantity, and the plan demonstrably fired.
+    #[test]
+    fn faulted_run_identical_across_conductors() {
+        let run = |lookahead: bool| {
+            SimCluster::<u64>::new(MachineModel::kittyhawk(), 8, SpaceConfig::default())
+                .with_lookahead(lookahead)
+                .with_faults(FaultPlan::seeded(0xFA_17))
+                .run(chaos_workload)
+        };
+        let fast = run(true);
+        let slow = run(false);
+        assert_eq!(fast.results, slow.results);
+        assert_eq!(fast.makespan_ns, slow.makespan_ns);
+        assert_eq!(fast.clocks, slow.clocks);
+        assert_eq!(fast.scalars, slow.scalars);
+        assert_eq!(fast.stats, slow.stats);
+        assert!(
+            fast.total_stats().fault_ns > 0,
+            "fault plan never injected anything"
+        );
+    }
+
+    /// Straggler semantics: a plan that makes every thread a 4x straggler
+    /// quadruples the duration of pure work, with the surplus accounted as
+    /// fault time and `work_ns` keeping its fault-free meaning.
+    #[test]
+    fn straggler_plan_inflates_pure_work() {
+        let all_stragglers = FaultPlan {
+            straggler_per_mille: 1000,
+            straggler_mult_x16: 64, // 4x
+            ..FaultPlan::seeded(1)
+        };
+        let plan = FaultPlan {
+            spike_per_mille: 0,
+            stall_per_mille: 0,
+            lock_mult_x16: 16,
+            ..all_stragglers
+        };
+        let m = MachineModel::kittyhawk();
+        let base = 1000 * m.node_ns;
+        let report = SimCluster::<u64>::new(m, 1, SpaceConfig::default())
+            .with_faults(plan)
+            .run(|c| {
+                c.work(1000);
+                c.poll(); // fold pending work into the clock
+                c.now()
+            });
+        let stats = &report.stats[0];
+        assert_eq!(stats.work_ns, base, "work_ns must stay the modelled time");
+        assert_eq!(stats.fault_ns, 3 * base, "4x straggler adds 3x as fault time");
+        assert!(report.clocks[0] >= 4 * base);
     }
 }
 

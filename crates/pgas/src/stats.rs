@@ -45,6 +45,11 @@ pub struct CommStats {
     pub comm_ns: u64,
     /// Nanoseconds charged to useful work (`work()` calls).
     pub work_ns: u64,
+    /// Extra nanoseconds injected by the active [`crate::FaultPlan`] on top
+    /// of modelled costs (latency spikes, stalls, straggler and lock
+    /// stretching). Part of the modelled result — but always zero when no
+    /// plan is active, so fault-free equality checks are unaffected.
+    pub fault_ns: u64,
 }
 
 impl CommStats {
@@ -78,6 +83,7 @@ impl CommStats {
         self.polls += other.polls;
         self.comm_ns += other.comm_ns;
         self.work_ns += other.work_ns;
+        self.fault_ns += other.fault_ns;
     }
 }
 

@@ -1,0 +1,127 @@
+//! Chaos property tests (docs/faults.md): random seeded fault schedules
+//! across all five paper algorithms must never break node conservation or
+//! termination, and the null plan must be invisible.
+//!
+//! - Every faulted run terminates (watchdogs panic on livelock in debug
+//!   builds, which is how these tests run under tier-1) and counts the tree
+//!   exactly against a sequential traversal.
+//! - [`FaultPlan::none()`] reproduces the fault-free run bit-for-bit — same
+//!   makespan, same per-thread counters, same comm stats — in both
+//!   conductor modes, so the fault layer costs nothing when disabled.
+
+use pgas::{FaultPlan, MachineModel};
+use uts_dlb::worksteal::{run_sim, seq_run, Algorithm, RunConfig, RunReport, UtsGen};
+use uts_tree::presets;
+
+/// Derive a pseudo-random but deterministic fault plan from `i` by
+/// perturbing every knob of the stock seeded plan.
+fn random_plan(i: u64) -> FaultPlan {
+    let r = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+    FaultPlan {
+        seed: r,
+        window_ns: 20_000 + (r % 7) * 45_000,
+        spike_per_mille: (r >> 8) as u32 % 400,
+        spike_mult_x16: 32 + ((r >> 16) as u32 % 8) * 64,
+        stall_per_mille: (r >> 24) as u32 % 300,
+        straggler_per_mille: (r >> 32) as u32 % 250,
+        straggler_mult_x16: 32 + ((r >> 40) as u32 % 4) * 64,
+        lock_mult_x16: 16 + ((r >> 48) as u32 % 4) * 16,
+        ..FaultPlan::seeded(r)
+    }
+}
+
+fn faulted_sweep(preset: uts_tree::presets::Preset, schedules: u64, threads: usize) {
+    let gen = UtsGen::new(preset.spec);
+    let (expect, _) = seq_run(&gen);
+    assert_eq!(expect, preset.expected.nodes);
+    for alg in Algorithm::paper_set() {
+        for i in 0..schedules {
+            let mut cfg = RunConfig::new(alg, 4);
+            cfg.faults = random_plan(i);
+            cfg.steal_timeout_ns = Some(30_000);
+            let report = run_sim(MachineModel::kittyhawk(), threads, &gen, &cfg);
+            assert_eq!(
+                report.total_nodes,
+                expect,
+                "{} schedule {i} ({:?}) lost or duplicated nodes",
+                alg.label(),
+                cfg.faults
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_t_tiny_all_algorithms() {
+    faulted_sweep(presets::t_tiny(), 8, 8);
+}
+
+#[test]
+fn chaos_t_s_all_algorithms() {
+    faulted_sweep(presets::t_s(), 2, 8);
+}
+
+/// Field-by-field equality of two reports: virtual results and every
+/// counter, ignoring only host wall-clock.
+fn assert_bit_identical(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.makespan_ns, b.makespan_ns, "{what}: makespan");
+    assert_eq!(a.total_nodes, b.total_nodes, "{what}: nodes");
+    assert_eq!(a.per_thread.len(), b.per_thread.len(), "{what}: threads");
+    for (t, (x, y)) in a.per_thread.iter().zip(&b.per_thread).enumerate() {
+        assert_eq!(x.nodes, y.nodes, "{what}: thread {t} nodes");
+        assert_eq!(x.steals_ok, y.steals_ok, "{what}: thread {t} steals");
+        assert_eq!(x.probes, y.probes, "{what}: thread {t} probes");
+        assert_eq!(x.state_ns, y.state_ns, "{what}: thread {t} state clock");
+        assert_eq!(x.comm, y.comm, "{what}: thread {t} comm stats");
+        assert_eq!(
+            x.comm.fault_ns, 0,
+            "{what}: thread {t} charged fault time with no plan active"
+        );
+    }
+}
+
+/// `FaultPlan::none()` (explicit or default) changes nothing, in either
+/// conductor mode.
+#[test]
+fn none_plan_is_bit_identical_in_both_conductor_modes() {
+    let p = presets::t_tiny();
+    let gen = UtsGen::new(p.spec);
+    for alg in Algorithm::paper_set() {
+        for lookahead in [true, false] {
+            let mut base = RunConfig::new(alg, 2);
+            base.sim_lookahead = lookahead;
+            let mut with_none = base;
+            with_none.faults = FaultPlan::none();
+            let a = run_sim(MachineModel::kittyhawk(), 6, &gen, &base);
+            let b = run_sim(MachineModel::kittyhawk(), 6, &gen, &with_none);
+            assert_bit_identical(
+                &a,
+                &b,
+                &format!("{} lookahead={lookahead}", alg.label()),
+            );
+        }
+    }
+}
+
+/// A *faulted* run is itself deterministic and conductor-independent: the
+/// fast fiber conductor and the reference OS-thread conductor agree on
+/// every virtual result under an active fault plan.
+#[test]
+fn faulted_runs_agree_across_conductors() {
+    let p = presets::t_tiny();
+    let gen = UtsGen::new(p.spec);
+    for alg in Algorithm::paper_set() {
+        let mut fast = RunConfig::new(alg, 2);
+        fast.faults = random_plan(5);
+        fast.steal_timeout_ns = Some(30_000);
+        let mut reference = fast;
+        reference.sim_lookahead = false;
+        let a = run_sim(MachineModel::kittyhawk(), 6, &gen, &fast);
+        let b = run_sim(MachineModel::kittyhawk(), 6, &gen, &reference);
+        assert_eq!(a.makespan_ns, b.makespan_ns, "{}", alg.label());
+        for (t, (x, y)) in a.per_thread.iter().zip(&b.per_thread).enumerate() {
+            assert_eq!(x.nodes, y.nodes, "{} thread {t}", alg.label());
+            assert_eq!(x.comm, y.comm, "{} thread {t}", alg.label());
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //! late-arriving steals). Complements `examples/termination_stress.rs`,
 //! which sweeps a larger grid in release mode.
 
-use pgas::MachineModel;
+use pgas::{FaultPlan, MachineModel};
 use uts_dlb::tree::TreeSpec;
 use uts_dlb::worksteal::{run_sim, seq_run, Algorithm, RunConfig, UtsGen};
 
@@ -54,4 +54,116 @@ fn mpi_ws_adversarial() {
 #[test]
 fn pushing_adversarial() {
     stress(Algorithm::Pushing, &MachineModel::smp(), 15);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-schedule cases (docs/faults.md): the same adversarial grid, but with
+// a deterministic fault plan aimed at a specific protocol weak point. Every
+// run must still terminate (the test completing *is* the termination check —
+// watchdogs panic on livelock in debug builds) with the exact sequential
+// node count.
+
+fn fault_stress(alg: Algorithm, faults: FaultPlan, timeout_ns: Option<u64>, cases: u64) -> u64 {
+    let machine = MachineModel::kittyhawk();
+    let mut hardening_events = 0u64;
+    for i in 0..cases {
+        let tree_seed = (i * 7 + 1) as u32;
+        let b0 = (i % 5) as u32 * 3;
+        let q = 0.05 + 0.4 * ((i % 7) as f64 / 7.0);
+        let threads = 2 + (i % 6) as usize;
+        let k = 1 + (i % 3) as usize;
+        let spec = TreeSpec::binomial(tree_seed, b0, 2, q);
+        let gen = UtsGen::new(spec);
+        let (expect, _) = seq_run(&gen);
+        let mut cfg = RunConfig::new(alg, k);
+        cfg.seed = i.wrapping_mul(0x9E37_79B9);
+        cfg.faults = FaultPlan {
+            seed: faults.seed.wrapping_add(i),
+            ..faults
+        };
+        cfg.steal_timeout_ns = timeout_ns;
+        let report = run_sim(machine.clone(), threads, &gen, &cfg);
+        assert_eq!(
+            report.total_nodes,
+            expect,
+            "{} fault case {i}: seed={tree_seed} b0={b0} q={q:.2} p={threads} k={k}",
+            alg.label()
+        );
+        let t = report.totals();
+        hardening_events += t.steal_timeouts + t.retracts_won + t.retracts_lost;
+    }
+    hardening_events
+}
+
+/// A victim stalls mid-steal: stall-heavy plan, thief timeout armed. The
+/// distmem thief must retract and re-probe rather than wait forever, and the
+/// retract race must never lose or duplicate the disputed chunk.
+#[test]
+fn stalled_victim_mid_steal_distmem() {
+    let plan = FaultPlan {
+        stall_per_mille: 500,
+        window_ns: 25_000,
+        spike_per_mille: 0,
+        straggler_per_mille: 0,
+        ..FaultPlan::seeded(0xBAD_57A11)
+    };
+    let fired = fault_stress(Algorithm::DistMem, plan, Some(10_000), 20);
+    assert!(
+        fired > 0,
+        "no timeout/retract fired — the stall schedule never bit"
+    );
+}
+
+/// Same stall schedule against the two-sided protocol: the mpi-ws thief
+/// times out, re-probes, and later drains the stalled victim's response so
+/// the token ring still balances.
+#[test]
+fn stalled_victim_mid_steal_mpi_ws() {
+    let plan = FaultPlan {
+        stall_per_mille: 500,
+        window_ns: 25_000,
+        spike_per_mille: 0,
+        straggler_per_mille: 0,
+        ..FaultPlan::seeded(0xBAD_57A11)
+    };
+    let fired = fault_stress(Algorithm::MpiWs, plan, Some(10_000), 20);
+    assert!(
+        fired > 0,
+        "no timeout fired — the stall schedule never bit"
+    );
+}
+
+/// A permanent straggler (16x slower) ends up holding the last chunks while
+/// everyone else races into the termination detector; the detectors must
+/// not declare victory over its head.
+#[test]
+fn straggler_holding_the_last_chunk() {
+    let plan = FaultPlan {
+        straggler_per_mille: 350,
+        straggler_mult_x16: 256, // 16x slowdown
+        stall_per_mille: 0,
+        spike_per_mille: 0,
+        ..FaultPlan::seeded(0x510_C0DE)
+    };
+    for alg in [Algorithm::Term, Algorithm::TermRapdif, Algorithm::DistMem] {
+        fault_stress(alg, plan, Some(50_000), 12);
+    }
+}
+
+/// Latency spikes (32x, dense windows) landing during the termination probe
+/// cycle: probes and barrier traffic get arbitrarily delayed, which must
+/// stretch — never corrupt — the detection protocols.
+#[test]
+fn latency_spike_during_termination_probe() {
+    let plan = FaultPlan {
+        spike_per_mille: 400,
+        spike_mult_x16: 512, // 32x latency
+        window_ns: 50_000,
+        stall_per_mille: 0,
+        straggler_per_mille: 0,
+        ..FaultPlan::seeded(0x5B1_CE)
+    };
+    for alg in [Algorithm::SharedMem, Algorithm::Term, Algorithm::MpiWs] {
+        fault_stress(alg, plan, Some(50_000), 12);
+    }
 }

@@ -59,6 +59,8 @@ fn event_timestamps_monotone_per_thread() {
                 Event::Enter { t_ns, .. }
                 | Event::StealOk { t_ns, .. }
                 | Event::StealFail { t_ns, .. }
+                | Event::StealTimeout { t_ns, .. }
+                | Event::Retract { t_ns, .. }
                 | Event::Release { t_ns } => *t_ns,
             };
             assert!(t >= last, "event time went backwards");
