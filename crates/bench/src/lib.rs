@@ -1,2 +1,4 @@
 //! Shared helpers for the figure-reproduction binaries. See `src/bin/`.
+#![warn(missing_docs)]
+
 pub mod harness;

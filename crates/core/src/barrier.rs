@@ -48,6 +48,18 @@ impl CancelableBarrier {
     /// Enter the barrier and spin (remotely) until either every thread has
     /// arrived (termination) or a release cancels the barrier.
     pub fn wait<T: Item, C: Comm<T>>(comm: &mut C) -> BarrierOutcome {
+        CancelableBarrier::wait_with(comm, |_| {})
+    }
+
+    /// [`CancelableBarrier::wait`] with a per-spin `service` hook, run after
+    /// the outcome checks of each iteration. Transports whose steal protocol
+    /// needs the victim's participation (the §3.3.3 request/response cells)
+    /// use it to keep denying thieves while parked; for the locked transport
+    /// the hook is a no-op and the spin is the paper's exactly.
+    pub fn wait_with<T: Item, C: Comm<T>>(
+        comm: &mut C,
+        mut service: impl FnMut(&mut C),
+    ) -> BarrierOutcome {
         let n = comm.n_threads() as i64;
         comm.lock(0, vars::BARRIER_LOCK);
         let count = comm.get(0, vars::BARRIER_COUNT) + 1;
@@ -73,6 +85,7 @@ impl CancelableBarrier {
                 comm.unlock(0, vars::BARRIER_LOCK);
                 return BarrierOutcome::Canceled;
             }
+            service(comm);
             comm.advance_idle(BARRIER_BACKOFF_NS);
         }
     }

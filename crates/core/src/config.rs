@@ -2,6 +2,8 @@
 
 use pgas::FaultPlan;
 
+use crate::sched::policy::{StealPolicyKind, VictimPolicy};
+
 /// Which load-balancing implementation to run (paper Figure 3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Algorithm {
@@ -101,6 +103,17 @@ pub struct RunConfig {
     /// wait-forever protocol exactly; fault schedules with stalled victims
     /// need it armed to stay live-ish under long stalls.
     pub steal_timeout_ns: Option<u64>,
+    /// Override the victim-order policy of the algorithm's bundle (see
+    /// [`RunConfig::bundle`](crate::sched::bundle)). `None` (the default)
+    /// keeps the algorithm's own choice, preserving the paper labels
+    /// bit-exactly; `Some(VictimPolicy::Hier)` puts same-node-first victim
+    /// selection on any probing transport.
+    pub victim_policy: Option<VictimPolicy>,
+    /// Override the steal-amount policy of the algorithm's bundle. `None`
+    /// (the default) keeps the algorithm's own choice;
+    /// `Some(StealPolicyKind::Adaptive)` sizes grants by the victim's
+    /// surplus depth on any transport.
+    pub steal_policy: Option<StealPolicyKind>,
 }
 
 impl RunConfig {
@@ -116,6 +129,8 @@ impl RunConfig {
             sim_lookahead: true,
             faults: FaultPlan::none(),
             steal_timeout_ns: None,
+            victim_policy: None,
+            steal_policy: None,
         }
     }
 

@@ -1,5 +1,5 @@
 //! `upc-distmem` (§3.3.3): the lock-less DFS stack with an asynchronous
-//! request/response steal protocol — the paper's headline algorithm.
+//! request/response steal protocol — the paper's headline transport.
 //!
 //! Division of labour:
 //!
@@ -19,10 +19,13 @@
 //!   offset + amount) and a local reset of the request cell, exactly the
 //!   §3.3.3 budget.
 //!
-//! Rapid diffusion (§3.3.2) is inherited: the victim grants half its
-//! available chunks when more than one is available. Termination detection
-//! is the §3.3.1 streamlined barrier. The `hier` flag enables the §6.2
-//! future-work refinement: probe same-node victims before off-node ones.
+//! The grant size comes from the bundle's [`StealPolicy`]: the paper's
+//! `upc-distmem` uses steal-half (§3.3.2 rapid diffusion), and the same
+//! transport serves steal-one or adaptive grants unchanged — the victim
+//! alone sizes the grant, so the thief side is policy-oblivious.
+//! Termination detection and victim order are likewise the bundle's choice
+//! (see [`crate::sched::bundle`]); `upc-hier` is this transport with the
+//! §6.2 same-node-first victim policy.
 //!
 //! # Timeout/retract hardening (`docs/faults.md`)
 //!
@@ -43,17 +46,18 @@
 //! The claim-CAS replaces the fault-free protocol's trailing plain-write
 //! reset only when a timeout is armed, leaving the paper-faithful op
 //! sequence (and its bit-exact virtual times) untouched otherwise.
+//!
+//! [`StealPolicy`]: crate::sched::policy::StealPolicy
+//! [`RunConfig::steal_timeout_ns`]: crate::config::RunConfig::steal_timeout_ns
 
 use pgas::comm::Item;
 use pgas::Comm;
 
-use crate::barrier::{TerminationBarrier, BARRIER_BACKOFF_NS};
 use crate::config::RunConfig;
-use crate::probe::ProbeOrder;
 use crate::report::ThreadResult;
+use crate::sched::policy::{StealPolicy, StealPolicyKind};
+use crate::sched::{Cx, StealOutcome, StealTransport};
 use crate::stack::DfsStack;
-use crate::state::{State, StateClock};
-use crate::taskgen::TaskGen;
 use crate::trace::TraceLog;
 use crate::vars;
 use crate::watchdog::Watchdog;
@@ -66,122 +70,123 @@ const TIMEOUT_BACKOFF_MIN_NS: u64 = 4_000;
 /// Cap on the post-timeout exponential backoff.
 const TIMEOUT_BACKOFF_MAX_NS: u64 = 512_000;
 
-/// Run the lock-less worker on this thread.
-pub fn run<G, C>(comm: &mut C, gen: &G, cfg: &RunConfig, hier: bool) -> ThreadResult
-where
-    G: TaskGen,
-    C: Comm<G::Task>,
-{
-    let me = comm.my_id();
-    let n = comm.n_threads();
-    let mut stack: DfsStack<G::Task> = DfsStack::new(cfg.chunk_size);
-    let mut probe = if hier {
-        ProbeOrder::hierarchical(me, n, cfg.seed, comm.machine())
-    } else {
-        ProbeOrder::flat(me, n, cfg.seed)
-    };
-    let mut res = ThreadResult::default();
-    let mut clock = StateClock::new(comm.now());
-    let mut log = TraceLog::new(cfg.trace);
-    let mut scratch: Vec<G::Task> = Vec::new();
-    // Exponential backoff across consecutive steal timeouts (hardened mode).
-    let mut steal_backoff_ns = TIMEOUT_BACKOFF_MIN_NS;
+/// §3.3.3's lock-less request/response protocol as a [`StealTransport`].
+#[derive(Clone, Copy, Debug)]
+pub struct DistMemTransport {
+    sp: StealPolicyKind,
+    since_poll: u64,
+    /// Exponential backoff across consecutive steal timeouts (hardened mode).
+    steal_backoff_ns: u64,
+}
 
-    // Scalar cells start at 0; the request cell's idle value is -1. Arm it
-    // before any exploration (thieves CAS against NO_REQUEST, so until this
-    // write lands their attempts simply fail).
-    comm.put(me, vars::REQUEST, vars::NO_REQUEST);
+impl DistMemTransport {
+    /// A distmem transport granting chunks per the given steal policy.
+    pub fn new(sp: StealPolicyKind) -> DistMemTransport {
+        DistMemTransport {
+            sp,
+            since_poll: 0,
+            steal_backoff_ns: TIMEOUT_BACKOFF_MIN_NS,
+        }
+    }
+}
 
-    if me == 0 {
-        stack.push(gen.root());
+impl<T: Item, C: Comm<T>> StealTransport<T, C> for DistMemTransport {
+    const NAME: &'static str = "distmem";
+    const BARRIER_WATCHDOG: &'static str = "distmem termination barrier";
+
+    fn init(&mut self, comm: &mut C, _cx: &mut Cx) {
+        // Scalar cells start at 0; the request cell's idle value is -1. Arm
+        // it before any exploration (thieves CAS against NO_REQUEST, so
+        // until this write lands their attempts simply fail).
+        comm.put(comm.my_id(), vars::REQUEST, vars::NO_REQUEST);
     }
 
-    'outer: loop {
-        // ------------------------------------------------------- Working
-        { let now = comm.now(); clock.transition(State::Working, now); log.enter(State::Working, now); }
-        let mut since_poll: u64 = 0;
-        loop {
-            if stack.is_local_empty() {
-                if stack.avail > 0 {
-                    reacquire(comm, &mut stack, &mut res);
-                    continue;
-                }
-                break; // out of work
-            }
-            let node = stack.pop().expect("nonempty local region");
-            res.nodes += 1;
-            scratch.clear();
-            gen.expand(&node, &mut scratch);
-            stack.push_all(&scratch);
-            comm.work(1);
-            since_poll += 1;
-            if since_poll >= cfg.poll_interval {
-                since_poll = 0;
-                service_request(comm, &mut stack, cfg, &mut res);
-            }
-            if stack.should_release(cfg.release_depth) {
-                release(comm, &mut stack, &mut res);
-                log.release(comm.now());
-            }
-        }
-        // Out of work: deny any in-flight request, reclaim dead area space,
-        // and publish the tri-state marker.
-        service_request(comm, &mut stack, cfg, &mut res);
-        compact(comm, &mut stack);
-        comm.put(me, vars::WORK_AVAIL, vars::OUT_OF_WORK);
+    fn on_enter_working(&mut self) {
+        self.since_poll = 0;
+    }
 
-        // --------------------------------------------------- Searching
-        { let now = comm.now(); clock.transition(State::Searching, now); log.enter(State::Searching, now); }
-        loop {
-            let mut all_out = true;
-            for v in probe.cycle() {
-                res.probes += 1;
-                let avail = comm.get(v, vars::WORK_AVAIL);
-                if avail > 0 {
-                    { let now = comm.now(); clock.transition(State::Stealing, now); log.enter(State::Stealing, now); }
-                    if steal(comm, &mut stack, v, cfg, &mut steal_backoff_ns, &mut res, &mut log) {
-                        comm.put(me, vars::WORK_AVAIL, 0);
-                        continue 'outer;
-                    }
-                    { let now = comm.now(); clock.transition(State::Searching, now); log.enter(State::Searching, now); }
-                    all_out = false;
-                } else if avail == 0 {
-                    all_out = false;
-                }
-                // Keep the protocol responsive while we wander: deny thieves
-                // that CASed us on a stale read.
-                deny_request(comm, cfg, &mut res);
-            }
-            if !all_out {
-                continue;
-            }
-
-            // ------------------------------------------------ Terminating
-            { let now = comm.now(); clock.transition(State::Terminating, now); log.enter(State::Terminating, now); }
-            if barrier_wait(comm, &mut stack, &mut probe, cfg, &mut steal_backoff_ns, &mut res, &mut log) {
-                break 'outer;
-            }
-            comm.put(me, vars::WORK_AVAIL, 0);
-            continue 'outer;
+    fn refill(&mut self, comm: &mut C, stack: &mut DfsStack<T>, cx: &mut Cx) -> bool {
+        if stack.avail > 0 {
+            reacquire(comm, stack, &mut cx.res);
+            true
+        } else {
+            false
         }
     }
 
-    // Premature-termination detector: a thread leaving through the barrier
-    // with work still in hand means the termination protocol fired early
-    // under this (possibly fault-injected) schedule.
-    debug_assert!(
-        stack.is_local_empty() && stack.avail == 0,
-        "thread {me} terminated holding work: local={} avail={}",
-        stack.local_len(),
-        stack.avail
-    );
+    fn poll(&mut self, comm: &mut C, stack: &mut DfsStack<T>, cx: &mut Cx) {
+        self.since_poll += 1;
+        if self.since_poll >= cx.cfg.poll_interval {
+            self.since_poll = 0;
+            service_request(comm, stack, cx.cfg, self.sp, &mut cx.res);
+        }
+    }
 
-    let (state_ns, transitions) = clock.finish(comm.now());
-    res.state_ns = state_ns;
-    res.transitions = transitions;
-    res.comm = comm.stats().clone();
-    res.events = log.into_events();
-    res
+    fn maybe_release(&mut self, comm: &mut C, stack: &mut DfsStack<T>, cx: &mut Cx) -> bool {
+        if !stack.should_release(cx.cfg.release_depth) {
+            return false;
+        }
+        release(comm, stack, &mut cx.res);
+        cx.log.release(comm.now());
+        true
+    }
+
+    fn on_out_of_work(&mut self, comm: &mut C, stack: &mut DfsStack<T>, cx: &mut Cx) {
+        // Deny any in-flight request, reclaim dead area space, and publish
+        // the tri-state marker.
+        service_request(comm, stack, cx.cfg, self.sp, &mut cx.res);
+        compact(comm, stack);
+        comm.put(comm.my_id(), vars::WORK_AVAIL, vars::OUT_OF_WORK);
+    }
+
+    fn probe(&mut self, comm: &mut C, victim: usize) -> i64 {
+        comm.get(victim, vars::WORK_AVAIL)
+    }
+
+    fn steal(
+        &mut self,
+        comm: &mut C,
+        stack: &mut DfsStack<T>,
+        victim: usize,
+        cx: &mut Cx,
+    ) -> StealOutcome {
+        if steal(
+            comm,
+            stack,
+            victim,
+            cx.cfg,
+            &mut self.steal_backoff_ns,
+            &mut cx.res,
+            &mut cx.log,
+        ) {
+            StealOutcome::Got
+        } else {
+            StealOutcome::Denied
+        }
+    }
+
+    fn idle_service(&mut self, comm: &mut C, _stack: &mut DfsStack<T>, cx: &mut Cx) {
+        // Keep the protocol responsive while we wander: deny thieves that
+        // CASed us on a stale read.
+        deny_request(comm, cx.cfg, &mut cx.res);
+    }
+
+    fn got_work(&mut self, comm: &mut C) {
+        comm.put(comm.my_id(), vars::WORK_AVAIL, 0);
+    }
+
+    fn finish(&mut self, comm: &mut C, stack: &mut DfsStack<T>, _cx: &mut Cx) {
+        // Premature-termination detector: a thread leaving through the
+        // barrier with work still in hand means the termination protocol
+        // fired early under this (possibly fault-injected) schedule.
+        debug_assert!(
+            stack.is_local_empty() && stack.avail == 0,
+            "thread {} terminated holding work: local={} avail={}",
+            comm.my_id(),
+            stack.local_len(),
+            stack.avail
+        );
+    }
 }
 
 /// Owner: move the oldest `k` local nodes into the shared region. No lock —
@@ -241,10 +246,16 @@ where
     Some(req as usize)
 }
 
-/// Owner: answer a pending steal request, granting half the available
-/// chunks (§3.3.2) or denying with amount 0. Two remote writes + local reset.
-fn service_request<T, C>(comm: &mut C, stack: &mut DfsStack<T>, cfg: &RunConfig, res: &mut ThreadResult)
-where
+/// Owner: answer a pending steal request, granting per the bundle's steal
+/// policy (§3.3.2 steal-half for the paper bundles) or denying with amount
+/// 0. Two remote writes + local reset.
+fn service_request<T, C>(
+    comm: &mut C,
+    stack: &mut DfsStack<T>,
+    cfg: &RunConfig,
+    sp: StealPolicyKind,
+    res: &mut ThreadResult,
+) where
     T: Item,
     C: Comm<T>,
 {
@@ -252,7 +263,7 @@ where
     let Some(thief) = claim_request(comm, cfg) else {
         return;
     };
-    let give = DfsStack::<T>::steal_half_amount(stack.avail);
+    let give = sp.amount(stack.avail);
     if give > 0 {
         let offset = stack.grant(give);
         comm.put(me, vars::WORK_AVAIL, stack.avail as i64);
@@ -394,50 +405,6 @@ where
     }
 }
 
-/// §3.3.1 in-barrier loop, lock-less edition: spin on our local termination
-/// flag, probe one victim per iteration, keep denying steal requests.
-/// Returns true on termination, false if we left with stolen work.
-fn barrier_wait<T, C>(
-    comm: &mut C,
-    stack: &mut DfsStack<T>,
-    probe: &mut ProbeOrder,
-    cfg: &RunConfig,
-    backoff_ns: &mut u64,
-    res: &mut ThreadResult,
-    log: &mut TraceLog,
-) -> bool
-where
-    T: Item,
-    C: Comm<T>,
-{
-    if TerminationBarrier::enter(comm) {
-        TerminationBarrier::announce_root(comm);
-    }
-    let mut dog = Watchdog::new("distmem termination barrier");
-    loop {
-        dog.tick();
-        if TerminationBarrier::term_seen(comm) {
-            TerminationBarrier::propagate(comm);
-            return true;
-        }
-        deny_request(comm, cfg, res);
-        if let Some(v) = probe.one() {
-            res.probes += 1;
-            if comm.get(v, vars::WORK_AVAIL) > 0 {
-                TerminationBarrier::leave(comm);
-                if steal(comm, stack, v, cfg, backoff_ns, res, log) {
-                    return false;
-                }
-                if TerminationBarrier::enter(comm) {
-                    TerminationBarrier::announce_root(comm);
-                }
-                dog.reset(); // barrier population changed — progress
-            }
-        }
-        comm.advance_idle(BARRIER_BACKOFF_NS);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,6 +422,7 @@ mod tests {
     fn retract_race(delay_ns: u64, timeout_ns: u64) -> (u64, u64, u64, u64, i64) {
         let mut cfg = RunConfig::new(Algorithm::DistMem, K);
         cfg.steal_timeout_ns = Some(timeout_ns);
+        let sp = cfg.bundle().steal;
         let cluster: SimCluster<u64> =
             SimCluster::new(MachineModel::kittyhawk(), 2, vars::space_config());
         let report = cluster.run(|comm| {
@@ -471,7 +439,7 @@ mod tests {
                 release(comm, &mut stack, &mut res);
                 // Stall (an unresponsive owner), then service once.
                 comm.advance_idle(delay_ns);
-                service_request(comm, &mut stack, &cfg, &mut res);
+                service_request(comm, &mut stack, &cfg, sp, &mut res);
                 [stack.local_len() as u64 + stack.avail as u64 * K as u64, 0, 0, 0, 0]
             } else {
                 // Thief: single hardened steal attempt against thread 0.

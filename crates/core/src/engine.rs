@@ -9,46 +9,23 @@ use pgas::{Comm, MachineModel};
 
 use pgas::Collectives;
 
-use crate::config::{Algorithm, RunConfig};
-use crate::locked::{StealAmount, TerminationStyle};
+use crate::config::RunConfig;
 use crate::report::{RunReport, ThreadResult};
 use crate::taskgen::TaskGen;
-use crate::{distmem, locked, mpi_ws, pushing, vars};
+use crate::vars;
 
 /// Run the configured algorithm's worker body on this thread. Exposed so
 /// custom harnesses can embed workers in their own clusters.
+///
+/// The algorithm (plus any [`RunConfig::victim_policy`] /
+/// [`RunConfig::steal_policy`] overrides) resolves to a policy bundle and
+/// runs on the generic driver — see [`crate::sched`].
 pub fn worker<G, C>(comm: &mut C, gen: &G, cfg: &RunConfig) -> ThreadResult
 where
     G: TaskGen,
     C: Comm<G::Task>,
 {
-    let mut res = match cfg.algorithm {
-        Algorithm::SharedMem => locked::run(
-            comm,
-            gen,
-            cfg,
-            TerminationStyle::Cancelable,
-            StealAmount::One,
-        ),
-        Algorithm::Term => locked::run(
-            comm,
-            gen,
-            cfg,
-            TerminationStyle::Streamlined,
-            StealAmount::One,
-        ),
-        Algorithm::TermRapdif => locked::run(
-            comm,
-            gen,
-            cfg,
-            TerminationStyle::Streamlined,
-            StealAmount::Half,
-        ),
-        Algorithm::DistMem => distmem::run(comm, gen, cfg, false),
-        Algorithm::Hier => distmem::run(comm, gen, cfg, true),
-        Algorithm::MpiWs => mpi_ws::run(comm, gen, cfg),
-        Algorithm::Pushing => pushing::run(comm, gen, cfg),
-    };
+    let mut res = crate::sched::run_bundle(comm, gen, cfg);
     // In-band final count, as the original UTS does with upc_all_reduce
     // after termination. Every thread learns the global total.
     let mut coll = Collectives::new(vars::COLL_BASE);
@@ -141,6 +118,7 @@ fn assemble(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Algorithm;
     use crate::taskgen::{SyntheticGen, UtsGen};
     use uts_tree::presets;
 

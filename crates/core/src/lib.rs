@@ -46,6 +46,7 @@ pub mod mpi_ws;
 pub mod probe;
 pub mod pushing;
 pub mod report;
+pub mod sched;
 pub mod stack;
 pub mod state;
 pub mod taskgen;
@@ -55,5 +56,10 @@ pub mod watchdog;
 
 pub use config::{Algorithm, RunConfig};
 pub use engine::{run_native, run_sim, seq_run, worker};
+pub use probe::{ProbeOrder, VictimSelector};
 pub use report::{RunReport, ThreadResult};
+pub use sched::{
+    drive, run_bundle, BundleSpec, StealPolicy, StealPolicyKind, TerminationKind, TransportKind,
+    VictimPolicy,
+};
 pub use taskgen::{SyntheticGen, TaskGen, UtsGen};

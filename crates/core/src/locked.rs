@@ -1,7 +1,7 @@
-//! The lock-based work-stealing algorithm family.
+//! The lock-protected shared-stack transport (§3.1).
 //!
-//! One parameterised implementation covers three of the paper's labels,
-//! mirroring its refinement chain:
+//! The foundation of three of the paper's labels, now expressed as policy
+//! bundles over this one transport (see [`crate::sched::bundle`]):
 //!
 //! - `upc-sharedmem` (§3.1) = locked stack + **cancelable barrier** + steal 1
 //! - `upc-term` (§3.3.1)    = locked stack + **streamlined termination** + steal 1
@@ -16,156 +16,80 @@
 //! stack is locked", §3.1), with a fetch-add acknowledgement so the owner
 //! never reclaims a region a thief is still copying.
 
+use pgas::comm::Item;
 use pgas::Comm;
 
-use crate::barrier::{BarrierOutcome, CancelableBarrier, TerminationBarrier, BARRIER_BACKOFF_NS};
-use crate::config::RunConfig;
-use crate::probe::ProbeOrder;
 use crate::report::ThreadResult;
+use crate::sched::policy::{StealPolicy, StealPolicyKind};
+use crate::sched::{Cx, StealOutcome, StealTransport};
 use crate::stack::DfsStack;
-use crate::state::{State, StateClock};
-use crate::taskgen::TaskGen;
 use crate::trace::TraceLog;
 use crate::vars;
-use crate::watchdog::Watchdog;
 
-/// Termination-detection style (the §3.1 → §3.3.1 refinement).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum TerminationStyle {
-    /// Cancelable barrier, reset on every release (§3.1).
-    Cancelable,
-    /// Full-cycle entry condition + in-barrier probing + tree announcement
-    /// (§3.3.1).
-    Streamlined,
+/// §3.1's lock-protected shared stack region as a [`StealTransport`]:
+/// every counter access goes through the victim's stack lock, steals
+/// reserve under that lock and transfer outside it.
+#[derive(Clone, Copy, Debug)]
+pub struct LockedTransport {
+    sp: StealPolicyKind,
 }
 
-/// How many chunks a thief takes (the §3.3.2 refinement).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum StealAmount {
-    /// One chunk per steal (§3.1).
-    One,
-    /// Half the available chunks, or one if only one is there (§3.3.2).
-    Half,
+impl LockedTransport {
+    /// A locked transport granting chunks per the given steal policy.
+    pub fn new(sp: StealPolicyKind) -> LockedTransport {
+        LockedTransport { sp }
+    }
 }
 
-/// Run the locked worker on this thread; returns its counters.
-pub fn run<G, C>(
-    comm: &mut C,
-    gen: &G,
-    cfg: &RunConfig,
-    term_style: TerminationStyle,
-    steal_amount: StealAmount,
-) -> ThreadResult
-where
-    G: TaskGen,
-    C: Comm<G::Task>,
-{
-    let me = comm.my_id();
-    let n = comm.n_threads();
-    let k = cfg.chunk_size;
-    let mut stack: DfsStack<G::Task> = DfsStack::new(k);
-    let mut probe = ProbeOrder::flat(me, n, cfg.seed);
-    let mut res = ThreadResult::default();
-    let mut clock = StateClock::new(comm.now());
-    let mut log = TraceLog::new(cfg.trace);
-    let mut scratch: Vec<G::Task> = Vec::new();
+impl<T: Item, C: Comm<T>> StealTransport<T, C> for LockedTransport {
+    const NAME: &'static str = "locked";
+    const BARRIER_WATCHDOG: &'static str = "streamlined termination barrier";
 
-    if me == 0 {
-        stack.push(gen.root());
+    fn refill(&mut self, comm: &mut C, stack: &mut DfsStack<T>, cx: &mut Cx) -> bool {
+        reacquire(comm, stack, &mut cx.res)
     }
 
-    'outer: loop {
-        // ------------------------------------------------- Working (Fig. 1)
-        { let now = comm.now(); clock.transition(State::Working, now); log.enter(State::Working, now); }
-        loop {
-            if stack.is_local_empty() {
-                if !reacquire(comm, &mut stack, &mut res) {
-                    break; // truly out of work
-                }
-                continue;
-            }
-            let node = stack.pop().expect("nonempty local region");
-            res.nodes += 1;
-            scratch.clear();
-            gen.expand(&node, &mut scratch);
-            stack.push_all(&scratch);
-            comm.work(1);
-            if stack.should_release(cfg.release_depth) {
-                release(comm, &mut stack, &mut res);
-                log.release(comm.now());
-                if term_style == TerminationStyle::Cancelable {
-                    // §3.1: every release resets the cancelable barrier so
-                    // that waiting threads come back for the fresh chunk.
-                    CancelableBarrier::cancel(comm);
-                }
-            }
+    fn maybe_release(&mut self, comm: &mut C, stack: &mut DfsStack<T>, cx: &mut Cx) -> bool {
+        if !stack.should_release(cx.cfg.release_depth) {
+            return false;
         }
-        // Out of work entirely: publish the tri-state marker.
-        set_out_of_work(comm, me);
+        release(comm, stack, &mut cx.res);
+        cx.log.release(comm.now());
+        true
+    }
 
-        // --------------------------------------- Work Discovery + Stealing
-        { let now = comm.now(); clock.transition(State::Searching, now); log.enter(State::Searching, now); }
-        loop {
-            let mut all_out = true;
-            for v in probe.cycle() {
-                res.probes += 1;
-                // §3.1: "the count of available work on a stack is examined
-                // without locking".
-                let avail = comm.get(v, vars::WORK_AVAIL);
-                if avail > 0 {
-                    { let now = comm.now(); clock.transition(State::Stealing, now); log.enter(State::Stealing, now); }
-                    if steal(comm, &mut stack, v, steal_amount, &mut res, &mut log) {
-                        comm.put(me, vars::WORK_AVAIL, 0);
-                        continue 'outer;
-                    }
-                    { let now = comm.now(); clock.transition(State::Searching, now); log.enter(State::Searching, now); }
-                    all_out = false; // it had work a moment ago
-                } else if avail == 0 {
-                    all_out = false; // working, no surplus (§3.3.1 tri-state)
-                }
-            }
+    fn on_out_of_work(&mut self, comm: &mut C, _stack: &mut DfsStack<T>, _cx: &mut Cx) {
+        set_out_of_work(comm, comm.my_id());
+    }
 
-            match term_style {
-                TerminationStyle::Cancelable => {
-                    // §3.1: enter the barrier after any unsuccessful sweep.
-                    { let now = comm.now(); clock.transition(State::Terminating, now); log.enter(State::Terminating, now); }
-                    match CancelableBarrier::wait(comm) {
-                        BarrierOutcome::Terminated => break 'outer,
-                        BarrierOutcome::Canceled => {
-                            { let now = comm.now(); clock.transition(State::Searching, now); log.enter(State::Searching, now); }
-                        }
-                    }
-                }
-                TerminationStyle::Streamlined => {
-                    if !all_out {
-                        // §3.3.1: "If it finds even a single thread still
-                        // working, it continues searching for work and does
-                        // not enter the barrier."
-                        continue;
-                    }
-                    { let now = comm.now(); clock.transition(State::Terminating, now); log.enter(State::Terminating, now); }
-                    if streamlined_wait(comm, &mut stack, &mut probe, steal_amount, &mut res, &mut log) {
-                        break 'outer;
-                    }
-                    // Stole work from inside the barrier: back to work.
-                    comm.put(me, vars::WORK_AVAIL, 0);
-                    continue 'outer;
-                }
-            }
+    fn probe(&mut self, comm: &mut C, victim: usize) -> i64 {
+        // §3.1: "the count of available work on a stack is examined without
+        // locking".
+        comm.get(victim, vars::WORK_AVAIL)
+    }
+
+    fn steal(
+        &mut self,
+        comm: &mut C,
+        stack: &mut DfsStack<T>,
+        victim: usize,
+        cx: &mut Cx,
+    ) -> StealOutcome {
+        if steal(comm, stack, victim, self.sp, &mut cx.res, &mut cx.log) {
+            StealOutcome::Got
+        } else {
+            StealOutcome::Denied
         }
     }
 
-    let (state_ns, transitions) = clock.finish(comm.now());
-    res.state_ns = state_ns;
-    res.transitions = transitions;
-    res.comm = comm.stats().clone();
-    res.events = log.into_events();
-    res
+    fn got_work(&mut self, comm: &mut C) {
+        comm.put(comm.my_id(), vars::WORK_AVAIL, 0);
+    }
 }
 
 /// Publish "no work at all" (§3.3.1's distinct value), under the stack lock
 /// so it cannot race with a thief's reservation of our last chunk.
-fn set_out_of_work<T: pgas::comm::Item, C: Comm<T>>(comm: &mut C, me: usize) {
+fn set_out_of_work<T: Item, C: Comm<T>>(comm: &mut C, me: usize) {
     comm.lock(me, vars::STACK_LOCK);
     let avail = comm.get(me, vars::WORK_AVAIL);
     debug_assert!(avail <= 0, "going idle with stealable work");
@@ -174,9 +98,9 @@ fn set_out_of_work<T: pgas::comm::Item, C: Comm<T>>(comm: &mut C, me: usize) {
 }
 
 /// Move the oldest `k` local nodes into our shared region (§3.1 `release()`).
-fn release<T, C, >(comm: &mut C, stack: &mut DfsStack<T>, res: &mut ThreadResult)
+fn release<T, C>(comm: &mut C, stack: &mut DfsStack<T>, res: &mut ThreadResult)
 where
-    T: pgas::comm::Item,
+    T: Item,
     C: Comm<T>,
 {
     let me = comm.my_id();
@@ -195,7 +119,7 @@ where
 /// `reacquire()`). Returns false if the shared region is empty.
 fn reacquire<T, C>(comm: &mut C, stack: &mut DfsStack<T>, res: &mut ThreadResult) -> bool
 where
-    T: pgas::comm::Item,
+    T: Item,
     C: Comm<T>,
 {
     let me = comm.my_id();
@@ -222,18 +146,19 @@ where
     true
 }
 
-/// §3.1 `steal()`: lock the victim's stack, re-check availability, reserve,
-/// unlock, then transfer one-sidedly outside the critical section.
+/// §3.1 `steal()`: lock the victim's stack, re-check availability, reserve
+/// the policy's amount, unlock, then transfer one-sidedly outside the
+/// critical section.
 fn steal<T, C>(
     comm: &mut C,
     stack: &mut DfsStack<T>,
     victim: usize,
-    amount: StealAmount,
+    sp: StealPolicyKind,
     res: &mut ThreadResult,
     log: &mut TraceLog,
 ) -> bool
 where
-    T: pgas::comm::Item,
+    T: Item,
     C: Comm<T>,
 {
     let k = stack.k;
@@ -247,10 +172,8 @@ where
         log.steal_fail(victim, comm.now());
         return false;
     }
-    let take = match amount {
-        StealAmount::One => 1usize,
-        StealAmount::Half => DfsStack::<T>::steal_half_amount(avail as usize),
-    };
+    let take = sp.amount(avail as usize);
+    debug_assert!(take >= 1 && take <= avail as usize, "policy broke its contract");
     let base = comm.get(victim, vars::STEAL_BASE) as usize;
     comm.put(victim, vars::STEAL_BASE, (base + take) as i64);
     comm.put(victim, vars::WORK_AVAIL, avail - take as i64);
@@ -267,49 +190,4 @@ where
     res.chunks_stolen += take as u64;
     log.steal_ok(victim, take as u64, comm.now());
     true
-}
-
-/// §3.3.1 in-barrier behaviour: spin on our local flag, probing a single
-/// victim per iteration; leave the barrier to steal if one shows work.
-/// Returns `true` on termination, `false` if we stole work and left.
-fn streamlined_wait<T, C>(
-    comm: &mut C,
-    stack: &mut DfsStack<T>,
-    probe: &mut ProbeOrder,
-    amount: StealAmount,
-    res: &mut ThreadResult,
-    log: &mut TraceLog,
-) -> bool
-where
-    T: pgas::comm::Item,
-    C: Comm<T>,
-{
-    if TerminationBarrier::enter(comm) {
-        TerminationBarrier::announce_root(comm);
-    }
-    let mut dog = Watchdog::new("streamlined termination barrier");
-    loop {
-        dog.tick();
-        if TerminationBarrier::term_seen(comm) {
-            TerminationBarrier::propagate(comm);
-            return true;
-        }
-        // "each thread that has entered the barrier only inspects one other
-        // thread to avoid overwhelming the remaining working threads".
-        if let Some(v) = probe.one() {
-            res.probes += 1;
-            if comm.get(v, vars::WORK_AVAIL) > 0 {
-                TerminationBarrier::leave(comm);
-                if steal(comm, stack, v, amount, res, log) {
-                    return false;
-                }
-                if TerminationBarrier::enter(comm) {
-                    TerminationBarrier::announce_root(comm);
-                }
-                // Seeing (even losing) work is observable progress.
-                dog.reset();
-            }
-        }
-        comm.advance_idle(BARRIER_BACKOFF_NS);
-    }
 }

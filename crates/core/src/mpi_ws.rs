@@ -4,31 +4,33 @@
 //! Stealing is a two-sided message exchange: an idle thread sends a steal
 //! request; working threads poll for requests "at an interval set by a
 //! user-supplied parameter" and answer with a chunk of work or a denial.
-//! Global quiescence is detected with the token ring ([`mpisim::TokenRing`]).
+//! Global quiescence is detected with the counting token ring
+//! ([`crate::sched::termination::RingTerm`] over [`mpisim::TokenRing`]).
 //!
 //! Contrast with `upc-distmem`: the victim must assemble and *send* the
 //! chunk (two-sided), whereas UPC lets the thief pull it one-sidedly while
 //! the victim keeps exploring. The compensating advantage the paper notes —
 //! "a clear advantage in not using any remote locking operations" — applies
 //! here too: there are no locks anywhere in this implementation.
+//!
+//! The grant size per request message comes from the bundle's
+//! [`StealPolicy`]: the paper baseline sends one chunk per grant, and the
+//! same transport ships multi-chunk grants for the half/adaptive policies
+//! (the surplus beyond the keep-threshold is what's divisible).
+//!
+//! [`StealPolicy`]: crate::sched::policy::StealPolicy
 
 use pgas::comm::Item;
 use pgas::Comm;
 
-use mpisim::TokenRing;
-
-use crate::config::RunConfig;
-use crate::probe::ProbeOrder;
-use crate::report::ThreadResult;
+use crate::sched::policy::{StealPolicy, StealPolicyKind};
+use crate::sched::{Cx, StealOutcome, StealTransport};
 use crate::stack::DfsStack;
-use crate::state::{State, StateClock};
-use crate::taskgen::TaskGen;
-use crate::trace::TraceLog;
 use crate::watchdog::Watchdog;
 
 /// Steal request (meta unused).
 pub const TAG_REQ: i64 = 1;
-/// Work grant; payload carries the chunk.
+/// Work grant; payload carries the chunk(s).
 pub const TAG_WORK: i64 = 2;
 /// Denial.
 pub const TAG_NOWORK: i64 = 3;
@@ -43,203 +45,204 @@ const TIMEOUT_BACKOFF_MIN_NS: u64 = 4_000;
 /// Cap on the post-timeout exponential backoff.
 const TIMEOUT_BACKOFF_MAX_NS: u64 = 512_000;
 
-/// Run the message-passing worker on this thread.
-pub fn run<G, C>(comm: &mut C, gen: &G, cfg: &RunConfig) -> ThreadResult
-where
-    G: TaskGen,
-    C: Comm<G::Task>,
-{
-    let me = comm.my_id();
-    let n = comm.n_threads();
-    let mut stack: DfsStack<G::Task> = DfsStack::new(cfg.chunk_size);
-    let mut probe = ProbeOrder::flat(me, n, cfg.seed);
-    let mut ring = TokenRing::new(me, n);
-    let mut res = ThreadResult::default();
-    let mut clock = StateClock::new(comm.now());
-    let mut log = TraceLog::new(cfg.trace);
-    let mut scratch: Vec<G::Task> = Vec::new();
-    // Cumulative WORK-message counts for the termination token.
-    let mut work_sent: i64 = 0;
-    let mut work_recv: i64 = 0;
-    // Timeout hardening (docs/faults.md): responses still outstanding from
-    // victims we timed out on. Grants are counted by the token ring, so a
-    // late WORK message *must* eventually be consumed — the drain below does
-    // that — or the ring would never balance. Stays 0 (and the drain is
-    // never even probed) unless `cfg.steal_timeout_ns` is armed.
-    let mut pending_responses: usize = 0;
-    let mut timeout_backoff = TIMEOUT_BACKOFF_MIN_NS;
+/// §3.2's two-sided request/grant message exchange as a [`StealTransport`].
+///
+/// Carries the cumulative WORK-message counts the termination token needs
+/// ([`StealTransport::ring_counts`]) and, with the steal timeout armed
+/// (`docs/faults.md`), the count of responses still outstanding from victims
+/// we abandoned. Grants are counted by the token ring, so a late WORK
+/// message *must* eventually be consumed — [`StealTransport::absorb_pending`]
+/// does that — or the ring would never balance. The count stays 0 (and the
+/// drain is never even probed) unless `cfg.steal_timeout_ns` is armed.
+#[derive(Clone, Copy, Debug)]
+pub struct MpiTransport {
+    sp: StealPolicyKind,
+    since_poll: u64,
+    /// Responses still outstanding from victims we timed out on.
+    pending_responses: usize,
+    /// Exponential backoff across consecutive steal timeouts.
+    timeout_backoff: u64,
+    /// Cumulative WORK messages sent (for the termination token).
+    work_sent: i64,
+    /// Cumulative WORK messages received (for the termination token).
+    work_recv: i64,
+}
 
-    if me == 0 {
-        stack.push(gen.root());
+impl MpiTransport {
+    /// An mpi-ws transport granting per the given steal policy.
+    pub fn new(sp: StealPolicyKind) -> MpiTransport {
+        MpiTransport {
+            sp,
+            since_poll: 0,
+            pending_responses: 0,
+            timeout_backoff: TIMEOUT_BACKOFF_MIN_NS,
+            work_sent: 0,
+            work_recv: 0,
+        }
     }
 
-    'outer: loop {
-        // ------------------------------------------------------- Working
-        { let now = comm.now(); clock.transition(State::Working, now); log.enter(State::Working, now); }
-        let mut since_poll: u64 = 0;
-        while let Some(node) = stack.pop() {
-            res.nodes += 1;
-            scratch.clear();
-            gen.expand(&node, &mut scratch);
-            stack.push_all(&scratch);
-            comm.work(1);
-            since_poll += 1;
-            if since_poll >= cfg.poll_interval {
-                since_poll = 0;
-                service_requests(comm, &mut stack, cfg, &mut work_sent, &mut res, &mut log);
+    /// Answer every queued steal request: chunks of the oldest local nodes
+    /// if we hold a comfortable surplus, a denial otherwise. The keep
+    /// threshold is `release_depth.max(2k)`; the policy sizes its grant from
+    /// the spare chunks above it, shipped as one message.
+    fn service_requests<T, C>(&mut self, comm: &mut C, stack: &mut DfsStack<T>, cx: &mut Cx)
+    where
+        T: Item,
+        C: Comm<T>,
+    {
+        while let Some(req) = comm.try_recv(Some(TAG_REQ)) {
+            let threshold = cx.cfg.release_depth.max(2 * stack.k);
+            if stack.local_len() >= threshold {
+                let spare = (stack.local_len() - threshold) / stack.k + 1;
+                let give = self.sp.amount(spare).clamp(1, spare);
+                let mut payload = Vec::with_capacity(give * stack.k);
+                for _ in 0..give {
+                    payload.extend_from_slice(&stack.take_bottom_chunk());
+                }
+                comm.send(req.src, TAG_WORK, [0; 4], &payload);
+                self.work_sent += 1;
+                cx.res.requests_serviced += 1;
+                cx.log.release(comm.now());
+            } else {
+                comm.send(req.src, TAG_NOWORK, [0; 4], &[]);
             }
         }
+    }
+}
 
-        // -------------------------------------------- Searching / Stealing
-        // One victim per iteration, alternating with termination-token
-        // handling (Dinan et al. interleave the same way): at large thread
-        // counts a full probe sweep between token steps would park the token
-        // for thousands of messages.
-        { let now = comm.now(); clock.transition(State::Searching, now); log.enter(State::Searching, now); }
-        let mut victims = probe.cycle();
-        let mut next_victim = 0usize;
+impl<T: Item, C: Comm<T>> StealTransport<T, C> for MpiTransport {
+    const NAME: &'static str = "mpi-ws";
+    const IDLE_BACKOFF_NS: u64 = IDLE_BACKOFF_NS;
+
+    fn on_enter_working(&mut self) {
+        self.since_poll = 0;
+    }
+
+    fn poll(&mut self, comm: &mut C, stack: &mut DfsStack<T>, cx: &mut Cx) {
+        self.since_poll += 1;
+        if self.since_poll >= cx.cfg.poll_interval {
+            self.since_poll = 0;
+            self.service_requests(comm, stack, cx);
+        }
+    }
+
+    fn steal(
+        &mut self,
+        comm: &mut C,
+        stack: &mut DfsStack<T>,
+        victim: usize,
+        cx: &mut Cx,
+    ) -> StealOutcome {
+        comm.send(victim, TAG_REQ, [0; 4], &[]);
+        // Await WORK or NOWORK, staying responsive to requests and to a
+        // termination announcement racing with our request: the ring can
+        // complete while our (uncounted) request is in flight, and the
+        // victim may already have exited — without the TERM check we would
+        // wait forever. A WORK grant cannot race this way because grants
+        // are counted by the token.
+        let deadline = cx.cfg.steal_timeout_ns.map(|d| comm.now() + d);
+        let mut dog = Watchdog::new("mpi-ws steal response wait");
         loop {
-            // Deny whatever arrived while we were idle.
-            service_requests(comm, &mut stack, cfg, &mut work_sent, &mut res, &mut log);
-
-            // Drain responses from victims we previously timed out on. A
-            // late WORK grant is still work in hand — and its consumption is
-            // required for the ring's sent/recv balance.
-            if pending_responses > 0 {
-                if let Some(m) = comm.try_recv(Some(TAG_WORK)) {
-                    pending_responses -= 1;
-                    work_recv += 1;
-                    stack.push_all(&m.payload);
-                    res.steals_ok += 1;
-                    res.chunks_stolen += (m.payload.len() / stack.k.max(1)) as u64;
-                    log.steal_ok(m.src, 1, comm.now());
-                    timeout_backoff = TIMEOUT_BACKOFF_MIN_NS;
-                    continue 'outer;
+            dog.tick();
+            if let Some(m) = comm.try_recv(Some(TAG_WORK)) {
+                // Work in hand, whether from `victim` or a late grant from
+                // an earlier timed-out victim. In the late case one
+                // outstanding response was consumed while `victim`'s becomes
+                // outstanding, so `pending_responses` is unchanged either
+                // way (we abandon `victim`'s response by returning).
+                self.work_recv += 1;
+                stack.push_all(&m.payload);
+                cx.res.steals_ok += 1;
+                cx.res.chunks_stolen += (m.payload.len() / stack.k.max(1)) as u64;
+                cx.log.steal_ok(m.src, 1, comm.now());
+                self.timeout_backoff = TIMEOUT_BACKOFF_MIN_NS;
+                return StealOutcome::Got;
+            }
+            if let Some(m) = comm.try_recv(Some(TAG_NOWORK)) {
+                if m.src != victim {
+                    // A late denial from an earlier timed-out victim; keep
+                    // waiting for the answer of `victim`.
+                    self.pending_responses = self.pending_responses.saturating_sub(1);
+                    continue;
                 }
-                // With no request in flight, any NOWORK here is late.
-                while pending_responses > 0 && comm.try_recv(Some(TAG_NOWORK)).is_some() {
-                    pending_responses -= 1;
+                cx.res.steals_failed += 1;
+                cx.log.steal_fail(victim, comm.now());
+                return StealOutcome::Denied;
+            }
+            if comm.has_msg(Some(mpisim::tags::TERM)) {
+                return StealOutcome::TermRaced;
+            }
+            if let Some(dl) = deadline {
+                if comm.now() >= dl {
+                    // Abandon the unresponsive victim; its eventual
+                    // WORK/NOWORK is drained by `absorb_pending` (or
+                    // classified by source above).
+                    cx.res.steal_timeouts += 1;
+                    cx.res.steal_retries += 1;
+                    cx.res.steals_failed += 1;
+                    cx.log.steal_timeout(victim, comm.now());
+                    self.pending_responses += 1;
+                    return StealOutcome::TimedOut;
                 }
             }
-
-            if next_victim >= victims.len() {
-                victims = probe.cycle();
-                next_victim = 0;
-            }
-            if victims.is_empty() {
-                // Solo rank: nothing to steal from; go straight to the ring.
-                { let now = comm.now(); clock.transition(State::Terminating, now); log.enter(State::Terminating, now); }
-                if ring.step(comm, work_sent, work_recv) {
-                    break 'outer;
-                }
-                { let now = comm.now(); clock.transition(State::Searching, now); log.enter(State::Searching, now); }
-                continue;
-            }
-            let v = victims[next_victim];
-            next_victim += 1;
-            res.probes += 1;
-            { let now = comm.now(); clock.transition(State::Stealing, now); log.enter(State::Stealing, now); }
-            comm.send(v, TAG_REQ, [0; 4], &[]);
-            // Await WORK or NOWORK, staying responsive to requests and
-            // to a termination announcement racing with our request: the
-            // ring can complete while our (uncounted) request is in
-            // flight, and the victim may already have exited — without
-            // the TERM check we would wait forever. A WORK grant cannot
-            // race this way because grants are counted by the token.
-            let mut term_raced = false;
-            let mut timed_out = false;
-            let deadline = cfg.steal_timeout_ns.map(|d| comm.now() + d);
-            let mut dog = Watchdog::new("mpi-ws steal response wait");
-            let granted = loop {
-                dog.tick();
-                if let Some(m) = comm.try_recv(Some(TAG_WORK)) {
-                    // Work in hand, whether from `v` or a late grant from an
-                    // earlier timed-out victim. In the late case one
-                    // outstanding response was consumed while `v`'s becomes
-                    // outstanding, so `pending_responses` is unchanged
-                    // either way (we abandon `v`'s response by breaking out).
-                    work_recv += 1;
-                    stack.push_all(&m.payload);
-                    res.steals_ok += 1;
-                    res.chunks_stolen += (m.payload.len() / stack.k.max(1)) as u64;
-                    log.steal_ok(m.src, 1, comm.now());
-                    timeout_backoff = TIMEOUT_BACKOFF_MIN_NS;
-                    break true;
-                }
-                if let Some(m) = comm.try_recv(Some(TAG_NOWORK)) {
-                    if m.src != v {
-                        // A late denial from an earlier timed-out victim;
-                        // keep waiting for v's answer.
-                        pending_responses = pending_responses.saturating_sub(1);
-                        continue;
-                    }
-                    res.steals_failed += 1;
-                    log.steal_fail(v, comm.now());
-                    break false;
-                }
-                if comm.has_msg(Some(mpisim::tags::TERM)) {
-                    term_raced = true;
-                    break false;
-                }
-                if let Some(dl) = deadline {
-                    if comm.now() >= dl {
-                        // Abandon the unresponsive victim; its eventual
-                        // WORK/NOWORK is drained at the top of the search
-                        // loop (or classified by source above).
-                        res.steal_timeouts += 1;
-                        res.steal_retries += 1;
-                        res.steals_failed += 1;
-                        log.steal_timeout(v, comm.now());
-                        pending_responses += 1;
-                        timed_out = true;
-                        break false;
-                    }
-                }
-                service_requests(comm, &mut stack, cfg, &mut work_sent, &mut res, &mut log);
-                comm.advance_idle(RESPONSE_BACKOFF_NS);
-            };
-            { let now = comm.now(); clock.transition(State::Searching, now); log.enter(State::Searching, now); }
-            if granted {
-                continue 'outer;
-            }
-            if timed_out {
-                // Back off, then re-probe the next victim directly — no ring
-                // step: the timed-out request proves nothing about global
-                // quiescence.
-                res.timeout_backoff_ns += timeout_backoff;
-                comm.advance_idle(timeout_backoff);
-                timeout_backoff = (timeout_backoff * 2).min(TIMEOUT_BACKOFF_MAX_NS);
-                continue;
-            }
-
-            // ---------------------------------------------- Terminating
-            { let now = comm.now(); clock.transition(State::Terminating, now); log.enter(State::Terminating, now); }
-            if term_raced || ring.step(comm, work_sent, work_recv) {
-                break 'outer;
-            }
-            comm.advance_idle(IDLE_BACKOFF_NS);
-            { let now = comm.now(); clock.transition(State::Searching, now); log.enter(State::Searching, now); }
+            self.service_requests(comm, stack, cx);
+            comm.advance_idle(RESPONSE_BACKOFF_NS);
         }
     }
 
-    // Premature-termination detector: the ring announced while this thread
-    // still held work — impossible under a correct sent/recv accounting.
-    debug_assert!(
-        stack.is_local_empty(),
-        "thread {me} terminated holding {} local nodes",
-        stack.local_len()
-    );
+    fn after_timeout(&mut self, comm: &mut C, cx: &mut Cx) {
+        cx.res.timeout_backoff_ns += self.timeout_backoff;
+        comm.advance_idle(self.timeout_backoff);
+        self.timeout_backoff = (self.timeout_backoff * 2).min(TIMEOUT_BACKOFF_MAX_NS);
+    }
 
-    // Late requests may still sit in the mailbox; they are unanswerable and
-    // harmless (their senders terminated through the same announcement).
-    mpisim::drain_mailbox(comm);
+    fn idle_service(&mut self, comm: &mut C, stack: &mut DfsStack<T>, cx: &mut Cx) {
+        self.service_requests(comm, stack, cx);
+    }
 
-    let (state_ns, transitions) = clock.finish(comm.now());
-    res.state_ns = state_ns;
-    res.transitions = transitions;
-    res.comm = comm.stats().clone();
-    res.events = log.into_events();
-    res
+    fn absorb_pending(&mut self, comm: &mut C, stack: &mut DfsStack<T>, cx: &mut Cx) -> bool {
+        // Drain responses from victims we previously timed out on. A late
+        // WORK grant is still work in hand — and its consumption is required
+        // for the ring's sent/recv balance.
+        if self.pending_responses == 0 {
+            return false;
+        }
+        if let Some(m) = comm.try_recv(Some(TAG_WORK)) {
+            self.pending_responses -= 1;
+            self.work_recv += 1;
+            stack.push_all(&m.payload);
+            cx.res.steals_ok += 1;
+            cx.res.chunks_stolen += (m.payload.len() / stack.k.max(1)) as u64;
+            cx.log.steal_ok(m.src, 1, comm.now());
+            self.timeout_backoff = TIMEOUT_BACKOFF_MIN_NS;
+            return true;
+        }
+        // With no request in flight, any NOWORK here is late.
+        while self.pending_responses > 0 && comm.try_recv(Some(TAG_NOWORK)).is_some() {
+            self.pending_responses -= 1;
+        }
+        false
+    }
+
+    fn ring_counts(&self) -> (i64, i64) {
+        (self.work_sent, self.work_recv)
+    }
+
+    fn finish(&mut self, comm: &mut C, stack: &mut DfsStack<T>, _cx: &mut Cx) {
+        // Premature-termination detector: the ring announced while this
+        // thread still held work — impossible under a correct sent/recv
+        // accounting.
+        debug_assert!(
+            stack.is_local_empty(),
+            "thread {} terminated holding {} local nodes",
+            comm.my_id(),
+            stack.local_len()
+        );
+        // Late requests may still sit in the mailbox; they are unanswerable
+        // and harmless (their senders terminated through the same
+        // announcement).
+        mpisim::drain_mailbox(comm);
+    }
 }
 
 #[cfg(test)]
@@ -299,34 +302,4 @@ mod tests {
             assert_eq!(x.timeout_backoff_ns, y.timeout_backoff_ns);
         }
     }
-}
-
-/// Answer every queued steal request: a chunk of the `k` oldest local nodes
-/// if we hold a comfortable surplus, a denial otherwise.
-fn service_requests<T, C>(
-    comm: &mut C,
-    stack: &mut DfsStack<T>,
-    cfg: &RunConfig,
-    work_sent: &mut i64,
-    res: &mut ThreadResult,
-    log: &mut TraceLog,
-) -> bool
-where
-    T: Item,
-    C: Comm<T>,
-{
-    let mut serviced = false;
-    while let Some(req) = comm.try_recv(Some(TAG_REQ)) {
-        serviced = true;
-        if stack.local_len() >= cfg.release_depth.max(2 * stack.k) {
-            let chunk = stack.take_bottom_chunk();
-            comm.send(req.src, TAG_WORK, [0; 4], &chunk);
-            *work_sent += 1;
-            res.requests_serviced += 1;
-            log.release(comm.now());
-        } else {
-            comm.send(req.src, TAG_NOWORK, [0; 4], &[]);
-        }
-    }
-    serviced
 }

@@ -2,8 +2,14 @@
 //! probe order is used to examine other threads' stacks"), plus the
 //! hierarchical variant from §6.2's future work: probe threads on the same
 //! compute node before going off-node.
+//!
+//! This module is the **only** place victim orders come from: every
+//! transport receives its [`VictimSelector`] from the policy bundle (see
+//! [`crate::sched`]), so there is exactly one xorshift/Fisher–Yates
+//! implementation in the codebase and every algorithm draws from the same
+//! decorrelated per-thread streams.
 
-use pgas::MachineModel;
+use pgas::{Distance, MachineModel};
 
 /// Deterministic xorshift64* generator — cheap, seedable per thread, and
 /// independent of any external crate so sim runs are bit-reproducible.
@@ -45,14 +51,28 @@ impl Xorshift {
     }
 }
 
-/// Produces victim probe orders for one thread.
+/// Chooses which victims a thread probes, and in what order. One of the four
+/// policy axes of the scheduler core (see [`crate::sched`]); the driver and
+/// the termination detectors are generic over this trait, so victim policy
+/// composes with any transport.
+pub trait VictimSelector {
+    /// A fresh probe cycle: every potential victim exactly once.
+    fn cycle(&mut self) -> Vec<usize>;
+    /// A single victim (used while waiting in the barrier, where the paper
+    /// limits each thread to "only inspect one other thread").
+    fn one(&mut self) -> Option<usize>;
+}
+
+/// Produces victim probe orders for one thread. The sole [`VictimSelector`]
+/// implementation: flat and hierarchical orders are the two constructions of
+/// the same generator, so they share one RNG and one shuffle.
 #[derive(Clone, Debug)]
 pub struct ProbeOrder {
     me: usize,
     victims: Vec<usize>,
     rng: Xorshift,
-    hierarchical: bool,
-    threads_per_node: usize,
+    /// Same-node-first partitioning, using this machine's distance map.
+    machine: Option<MachineModel>,
 }
 
 impl ProbeOrder {
@@ -62,19 +82,18 @@ impl ProbeOrder {
             me,
             victims: (0..n).filter(|&t| t != me).collect(),
             rng: Xorshift::new(seed ^ (me as u64).wrapping_mul(0xA24B_AED4_963E_E407)),
-            hierarchical: false,
-            threads_per_node: usize::MAX,
+            machine: None,
         }
     }
 
     /// Hierarchical order: a random permutation of same-node victims first,
     /// then a random permutation of off-node victims (§6.2:
     /// "first try to steal work within a cluster node before probing
-    /// off-node ... using bupc_thread_distance()").
+    /// off-node ... using bupc_thread_distance()"). Locality is classified
+    /// by [`MachineModel::distance`], our `bupc_thread_distance` analog.
     pub fn hierarchical(me: usize, n: usize, seed: u64, machine: &MachineModel) -> ProbeOrder {
         let mut p = ProbeOrder::flat(me, n, seed);
-        p.hierarchical = true;
-        p.threads_per_node = machine.threads_per_node;
+        p.machine = Some(machine.clone());
         p
     }
 
@@ -82,23 +101,31 @@ impl ProbeOrder {
     pub fn cycle(&mut self) -> Vec<usize> {
         let mut order = self.victims.clone();
         self.rng.shuffle(&mut order);
-        if self.hierarchical && self.threads_per_node != usize::MAX {
-            let my_node = self.me / self.threads_per_node;
+        if let Some(machine) = &self.machine {
             // Stable partition: same-node victims keep their shuffled
             // relative order but come first.
-            order.sort_by_key(|&v| v / self.threads_per_node != my_node);
+            order.sort_by_key(|&v| machine.distance(self.me, v) == Distance::Remote);
         }
         order
     }
 
-    /// A single random victim (used while waiting in the barrier, where the
-    /// paper limits each thread to "only inspect one other thread").
+    /// A single random victim.
     pub fn one(&mut self) -> Option<usize> {
         if self.victims.is_empty() {
             None
         } else {
             Some(self.victims[self.rng.below(self.victims.len())])
         }
+    }
+}
+
+impl VictimSelector for ProbeOrder {
+    fn cycle(&mut self) -> Vec<usize> {
+        ProbeOrder::cycle(self)
+    }
+
+    fn one(&mut self) -> Option<usize> {
+        ProbeOrder::one(self)
     }
 }
 

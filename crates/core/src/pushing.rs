@@ -8,18 +8,20 @@
 //! "work-first principle" — the push overhead is paid by the threads doing
 //! useful work, which is exactly what work stealing avoids — so it makes a
 //! good ablation baseline against the five paper algorithms.
+//!
+//! As a [`StealTransport`] this is the degenerate corner:
+//! [`StealTransport::STEALS`] is `false`, so the token-ring termination
+//! detector never probes or steals — idle threads park, alternating mailbox
+//! absorption with ring steps, until a pushed chunk or the termination
+//! announcement arrives.
 
 use pgas::comm::Item;
 use pgas::Comm;
 
-use mpisim::TokenRing;
-
-use crate::config::RunConfig;
 use crate::probe::Xorshift;
 use crate::report::ThreadResult;
+use crate::sched::{Cx, StealTransport};
 use crate::stack::DfsStack;
-use crate::state::{State, StateClock};
-use crate::taskgen::TaskGen;
 use crate::trace::TraceLog;
 
 /// Pushed chunk of work.
@@ -28,80 +30,83 @@ pub const TAG_PUSH: i64 = 10;
 /// Idle backoff.
 const IDLE_BACKOFF_NS: u64 = 2_000;
 
-/// Run the work-pushing worker on this thread.
-pub fn run<G, C>(comm: &mut C, gen: &G, cfg: &RunConfig) -> ThreadResult
-where
-    G: TaskGen,
-    C: Comm<G::Task>,
-{
-    let me = comm.my_id();
-    let n = comm.n_threads();
-    let mut stack: DfsStack<G::Task> = DfsStack::new(cfg.chunk_size);
-    let mut rng = Xorshift::new(cfg.seed ^ (me as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
-    let mut ring = TokenRing::new(me, n);
-    let mut res = ThreadResult::default();
-    let mut clock = StateClock::new(comm.now());
-    let mut log = TraceLog::new(cfg.trace);
-    let mut scratch: Vec<G::Task> = Vec::new();
-    let mut pushes_sent: i64 = 0;
-    let mut pushes_recv: i64 = 0;
+/// Randomized work pushing as a [`StealTransport`]: surplus is *sent* by
+/// the working thread to a uniformly random peer; idle threads only absorb.
+#[derive(Clone, Debug)]
+pub struct PushTransport {
+    me: usize,
+    n: usize,
+    rng: Xorshift,
+    since_poll: u64,
+    /// Cumulative PUSH messages sent (for the termination token).
+    sent: i64,
+    /// Cumulative PUSH messages received (for the termination token).
+    recv: i64,
+}
 
-    if me == 0 {
-        stack.push(gen.root());
+impl PushTransport {
+    /// A pushing transport for thread `me` of `n`, with its own push-target
+    /// random stream derived from `seed`.
+    pub fn new(me: usize, n: usize, seed: u64) -> PushTransport {
+        PushTransport {
+            me,
+            n,
+            rng: Xorshift::new(seed ^ (me as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93)),
+            since_poll: 0,
+            sent: 0,
+            recv: 0,
+        }
+    }
+}
+
+impl<T: Item, C: Comm<T>> StealTransport<T, C> for PushTransport {
+    const NAME: &'static str = "push-random";
+    const STEALS: bool = false;
+    const IDLE_BACKOFF_NS: u64 = IDLE_BACKOFF_NS;
+
+    fn on_enter_working(&mut self) {
+        self.since_poll = 0;
     }
 
-    'outer: loop {
-        // ------------------------------------------------------- Working
-        { let now = comm.now(); clock.transition(State::Working, now); log.enter(State::Working, now); }
-        let mut since_poll = 0u64;
-        while let Some(node) = stack.pop() {
-            res.nodes += 1;
-            scratch.clear();
-            gen.expand(&node, &mut scratch);
-            stack.push_all(&scratch);
-            comm.work(1);
-            since_poll += 1;
-            if since_poll >= cfg.poll_interval {
-                since_poll = 0;
-                pushes_recv += absorb(comm, &mut stack, &mut res, &mut log);
-            }
-            // Surplus? Push the oldest chunk at a random peer. The sender
-            // pays the cost — the defining anti-"work-first" property.
-            if n > 1 && stack.should_release(cfg.release_depth) {
-                let mut target = rng.below(n - 1);
-                if target >= me {
-                    target += 1;
-                }
-                let chunk = stack.take_bottom_chunk();
-                comm.send(target, TAG_PUSH, [0; 4], &chunk);
-                pushes_sent += 1;
-                res.releases += 1;
-                log.release(comm.now());
-            }
-        }
-
-        // ------------------------------------------------- Idle / Terminating
-        { let now = comm.now(); clock.transition(State::Terminating, now); log.enter(State::Terminating, now); }
-        loop {
-            let got = absorb(comm, &mut stack, &mut res, &mut log);
-            if got > 0 {
-                pushes_recv += got;
-                continue 'outer;
-            }
-            if ring.step(comm, pushes_sent, pushes_recv) {
-                break 'outer;
-            }
-            comm.advance_idle(IDLE_BACKOFF_NS);
+    fn poll(&mut self, comm: &mut C, stack: &mut DfsStack<T>, cx: &mut Cx) {
+        self.since_poll += 1;
+        if self.since_poll >= cx.cfg.poll_interval {
+            self.since_poll = 0;
+            self.recv += absorb(comm, stack, &mut cx.res, &mut cx.log);
         }
     }
 
-    mpisim::drain_mailbox(comm);
-    let (state_ns, transitions) = clock.finish(comm.now());
-    res.state_ns = state_ns;
-    res.transitions = transitions;
-    res.comm = comm.stats().clone();
-    res.events = log.into_events();
-    res
+    fn maybe_release(&mut self, comm: &mut C, stack: &mut DfsStack<T>, cx: &mut Cx) -> bool {
+        // Surplus? Push the oldest chunk at a random peer. The sender pays
+        // the cost — the defining anti-"work-first" property.
+        if self.n <= 1 || !stack.should_release(cx.cfg.release_depth) {
+            return false;
+        }
+        let mut target = self.rng.below(self.n - 1);
+        if target >= self.me {
+            target += 1;
+        }
+        let chunk = stack.take_bottom_chunk();
+        comm.send(target, TAG_PUSH, [0; 4], &chunk);
+        self.sent += 1;
+        cx.res.releases += 1;
+        cx.log.release(comm.now());
+        true
+    }
+
+    fn absorb_pending(&mut self, comm: &mut C, stack: &mut DfsStack<T>, cx: &mut Cx) -> bool {
+        let got = absorb(comm, stack, &mut cx.res, &mut cx.log);
+        self.recv += got;
+        got > 0
+    }
+
+    fn ring_counts(&self) -> (i64, i64) {
+        (self.sent, self.recv)
+    }
+
+    fn finish(&mut self, comm: &mut C, _stack: &mut DfsStack<T>, _cx: &mut Cx) {
+        mpisim::drain_mailbox(comm);
+    }
 }
 
 /// Pull every pushed chunk out of the mailbox onto the stack; returns how

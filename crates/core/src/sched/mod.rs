@@ -1,0 +1,291 @@
+//! The policy-based scheduler core.
+//!
+//! The paper's refinement chain (§3.1 → §3.3.3) is a sequence of orthogonal
+//! policy swaps — termination style, steal amount, stack synchronisation
+//! discipline, victim order — so this module factors the worker into exactly
+//! those axes:
+//!
+//! | Axis | Trait | Implementations |
+//! |------|-------|-----------------|
+//! | victim order | [`VictimSelector`] | flat random, hierarchical same-node-first ([`crate::probe`]) |
+//! | steal amount | [`StealPolicy`](policy::StealPolicy) | one, half, adaptive-by-depth ([`policy`]) |
+//! | termination | [`TerminationDetector`] | cancelable barrier, streamlined tri-state, counting token ring ([`termination`]) |
+//! | transport | [`StealTransport`] | locked shared region, CAS request/response, mpisim messages, work pushing |
+//!
+//! [`drive`] is the single generic worker: the Figure-1 state machine,
+//! per-state time accounting, trace emission, and the working loop
+//! (pop/expand/push, periodic polling, release checks) live here **once**,
+//! parameterized by the four policies. Each of the seven [`Algorithm`]
+//! variants is now a named policy bundle ([`bundle`]), resolved by
+//! [`bundle::run_bundle`] — and because the axes are independent, non-paper
+//! combinations (hierarchical victims on the locked transport, adaptive
+//! steal amounts on distmem) are one-line configurations instead of new
+//! algorithm modules.
+//!
+//! **Bit-identity contract**: for the seven seed bundles, the sequence of
+//! [`Comm`] operations issued by `drive` is identical, call for call, to the
+//! pre-refactor monolithic loops. On the virtual-time simulator every comm
+//! op advances the clock, so this is checked end-to-end by regenerating the
+//! committed result CSVs — any stray operation shifts every subsequent
+//! timestamp.
+//!
+//! [`Algorithm`]: crate::config::Algorithm
+
+pub mod bundle;
+pub mod policy;
+pub mod termination;
+
+use pgas::comm::Item;
+use pgas::Comm;
+
+use crate::config::RunConfig;
+use crate::probe::VictimSelector;
+use crate::report::ThreadResult;
+use crate::stack::DfsStack;
+use crate::state::{State, StateClock};
+use crate::taskgen::TaskGen;
+use crate::trace::TraceLog;
+
+pub use bundle::{run_bundle, BundleSpec, TerminationKind, TransportKind};
+pub use policy::{StealPolicy, StealPolicyKind, VictimPolicy};
+pub use termination::{CancelableTerm, RingTerm, StreamlinedTerm, TerminationDetector};
+
+/// Per-worker bookkeeping threaded through every policy hook: configuration,
+/// result counters, the Figure-1 state clock, and the trace log.
+///
+/// Policies mutate `res` and `log` directly (they own their protocol
+/// counters and trace events); state transitions go through [`Cx::enter`] so
+/// the clock and the log always agree on the timestamp.
+pub struct Cx<'a> {
+    /// The run configuration (chunk size, poll interval, timeouts, ...).
+    pub cfg: &'a RunConfig,
+    /// Per-thread counters accumulated by the driver and the policies.
+    pub res: ThreadResult,
+    /// Per-state virtual-time accounting (paper §6.2).
+    pub clock: StateClock,
+    /// Event recorder (no-op unless [`RunConfig::trace`] is set).
+    pub log: TraceLog,
+}
+
+impl<'a> Cx<'a> {
+    /// Fresh context starting in [`State::Working`] at time `now`.
+    pub fn new(cfg: &'a RunConfig, now: u64) -> Cx<'a> {
+        Cx {
+            cfg,
+            res: ThreadResult::default(),
+            clock: StateClock::new(now),
+            log: TraceLog::new(cfg.trace),
+        }
+    }
+
+    /// Transition to `state`, stamping the clock and the trace log with a
+    /// single `now()` read (one per transition, as the accounting requires).
+    #[inline]
+    pub fn enter<T: Item, C: Comm<T>>(&mut self, comm: &mut C, state: State) {
+        let now = comm.now();
+        self.clock.transition(state, now);
+        self.log.enter(state, now);
+    }
+
+    /// Close the books: final state interval, comm statistics, trace events.
+    fn into_result<T: Item, C: Comm<T>>(self, comm: &mut C) -> ThreadResult {
+        let mut res = self.res;
+        let (state_ns, transitions) = self.clock.finish(comm.now());
+        res.state_ns = state_ns;
+        res.transitions = transitions;
+        res.comm = comm.stats().clone();
+        res.events = self.log.into_events();
+        res
+    }
+}
+
+/// What the termination detector's work-discovery phase concluded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Discovery {
+    /// Work is in hand (stolen or received); resume the working loop.
+    GotWork,
+    /// Global termination was detected; the worker is done.
+    Terminated,
+}
+
+/// Outcome of one steal attempt against one victim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StealOutcome {
+    /// Chunks arrived on the local stack.
+    Got,
+    /// The victim denied (no surplus, lost race, or stale probe).
+    Denied,
+    /// A termination announcement raced the request (message transports):
+    /// the victim has already exited and global quiescence is proven.
+    TermRaced,
+    /// The armed steal timeout expired and the request was retracted
+    /// (`docs/faults.md`); back off and re-probe elsewhere.
+    TimedOut,
+}
+
+/// How a worker moves work and requests between threads — the
+/// synchronisation discipline of the shared stack region, which is the §3.1
+/// vs §3.2 vs §3.3.3 algorithmic difference.
+///
+/// Every method has a no-op default so each transport implements only the
+/// hooks its protocol uses; the defaults are what the message transports
+/// (which have no shared-region counters to maintain) want. The generic
+/// driver and the [`TerminationDetector`]s call these hooks at exactly the
+/// points the original monolithic loops performed the corresponding
+/// operations, which is what makes policy composition preserve op sequences.
+pub trait StealTransport<T: Item, C: Comm<T>> {
+    /// Short transport name (for labels and diagnostics).
+    const NAME: &'static str;
+    /// Whether idle threads actively steal. `false` only for work *pushing*,
+    /// where idle threads park in termination detection and wait for chunks
+    /// to land in their mailbox.
+    const STEALS: bool = true;
+    /// Backoff charged between idle termination-protocol iterations
+    /// (token-ring transports).
+    const IDLE_BACKOFF_NS: u64 = 0;
+    /// Watchdog label for the streamlined termination barrier loop.
+    const BARRIER_WATCHDOG: &'static str = "termination barrier";
+
+    /// One-time protocol setup before the root task is pushed (e.g. arming
+    /// the distmem request cell).
+    fn init(&mut self, _comm: &mut C, _cx: &mut Cx) {}
+
+    /// Called at each (re-)entry of the Working state (resets poll counters).
+    fn on_enter_working(&mut self) {}
+
+    /// The local region drained: try to move work back from the shared
+    /// region. Returns `true` if the local region is nonempty again.
+    fn refill(&mut self, _comm: &mut C, _stack: &mut DfsStack<T>, _cx: &mut Cx) -> bool {
+        false
+    }
+
+    /// Per-node progress hook in the working loop (periodic request
+    /// servicing / mailbox absorption, driven by `cfg.poll_interval`).
+    fn poll(&mut self, _comm: &mut C, _stack: &mut DfsStack<T>, _cx: &mut Cx) {}
+
+    /// Release surplus work if the local region is deep enough. Returns
+    /// `true` if a release happened (the termination detector may need to
+    /// know — the §3.1 cancelable barrier resets on every release).
+    fn maybe_release(&mut self, _comm: &mut C, _stack: &mut DfsStack<T>, _cx: &mut Cx) -> bool {
+        false
+    }
+
+    /// The thread is entirely out of work: publish the tri-state marker,
+    /// answer any straggler request, reclaim dead area space.
+    fn on_out_of_work(&mut self, _comm: &mut C, _stack: &mut DfsStack<T>, _cx: &mut Cx) {}
+
+    /// Read `victim`'s advertised work level (§3.3.1 tri-state: positive =
+    /// stealable surplus, 0 = working without surplus, negative = out of
+    /// work). Only called by probing termination detectors.
+    fn probe(&mut self, _comm: &mut C, _victim: usize) -> i64 {
+        unimplemented!("transport `{}` does not probe victims", Self::NAME)
+    }
+
+    /// Execute one steal against `victim` (the victim advertised work or a
+    /// request is warranted). Chunks land on `stack` on success.
+    fn steal(
+        &mut self,
+        _comm: &mut C,
+        _stack: &mut DfsStack<T>,
+        _victim: usize,
+        _cx: &mut Cx,
+    ) -> StealOutcome {
+        unimplemented!("transport `{}` does not steal", Self::NAME)
+    }
+
+    /// A steal returned [`StealOutcome::TimedOut`]: charge and escalate the
+    /// thief-side backoff before re-probing.
+    fn after_timeout(&mut self, _comm: &mut C, _cx: &mut Cx) {}
+
+    /// Stay responsive while idle: deny or service steal requests that
+    /// arrive while this thread is searching or parked in a barrier.
+    fn idle_service(&mut self, _comm: &mut C, _stack: &mut DfsStack<T>, _cx: &mut Cx) {}
+
+    /// Absorb work that arrived asynchronously (pushed chunks, late grants
+    /// from timed-out victims). Returns `true` if work is now in hand.
+    fn absorb_pending(&mut self, _comm: &mut C, _stack: &mut DfsStack<T>, _cx: &mut Cx) -> bool {
+        false
+    }
+
+    /// Work was just acquired through the termination detector's discovery
+    /// phase: re-advertise as working (clear the out-of-work marker).
+    fn got_work(&mut self, _comm: &mut C) {}
+
+    /// Cumulative (sent, received) transfer-message counts for the counting
+    /// token ring. Only meaningful for message transports.
+    fn ring_counts(&self) -> (i64, i64) {
+        (0, 0)
+    }
+
+    /// Post-termination teardown (drain mailboxes, conservation asserts),
+    /// before the state clock takes its final reading.
+    fn finish(&mut self, _comm: &mut C, _stack: &mut DfsStack<T>, _cx: &mut Cx) {}
+}
+
+/// The single generic worker driver: the paper's Figure-1 state machine
+/// parameterized by transport, termination detector, and victim selector
+/// (the steal-amount policy lives inside the transport, where grant sizing
+/// happens).
+///
+/// Custom harnesses can call this directly with hand-built policies; the
+/// seven paper/extension algorithms go through [`bundle::run_bundle`].
+pub fn drive<G, C, ST, TD, VS>(
+    comm: &mut C,
+    gen: &G,
+    cfg: &RunConfig,
+    mut transport: ST,
+    mut td: TD,
+    mut victims: VS,
+) -> ThreadResult
+where
+    G: TaskGen,
+    C: Comm<G::Task>,
+    ST: StealTransport<G::Task, C>,
+    TD: TerminationDetector<G::Task, C>,
+    VS: VictimSelector,
+{
+    let me = comm.my_id();
+    let mut stack: DfsStack<G::Task> = DfsStack::new(cfg.chunk_size);
+    let mut cx = Cx::new(cfg, comm.now());
+    let mut scratch: Vec<G::Task> = Vec::new();
+
+    transport.init(comm, &mut cx);
+
+    if me == 0 {
+        stack.push(gen.root());
+    }
+
+    'outer: loop {
+        // ------------------------------------------------- Working (Fig. 1)
+        cx.enter(comm, State::Working);
+        transport.on_enter_working();
+        loop {
+            if stack.is_local_empty() {
+                if transport.refill(comm, &mut stack, &mut cx) {
+                    continue;
+                }
+                break; // truly out of local work
+            }
+            let node = stack.pop().expect("nonempty local region");
+            cx.res.nodes += 1;
+            scratch.clear();
+            gen.expand(&node, &mut scratch);
+            stack.push_all(&scratch);
+            comm.work(1);
+            transport.poll(comm, &mut stack, &mut cx);
+            if transport.maybe_release(comm, &mut stack, &mut cx) {
+                td.on_release(comm);
+            }
+        }
+        transport.on_out_of_work(comm, &mut stack, &mut cx);
+
+        // ------------------- Work Discovery / Stealing / Termination (Fig. 1)
+        match td.discover(comm, &mut stack, &mut transport, &mut victims, &mut cx) {
+            Discovery::GotWork => continue 'outer,
+            Discovery::Terminated => break 'outer,
+        }
+    }
+
+    transport.finish(comm, &mut stack, &mut cx);
+    cx.into_result(comm)
+}

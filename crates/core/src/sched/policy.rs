@@ -1,0 +1,193 @@
+//! Steal-amount and victim-selection policies: the two "how much / from
+//! whom" axes of the scheduler core.
+//!
+//! Steal amounts are the §3.1 → §3.3.2 refinement (one chunk vs. half the
+//! victim's surplus), plus an adaptive extension in the spirit of per-victim
+//! steal-amount adaptation in distributed task runtimes. Victim selection is
+//! §3.1's flat pseudo-random probe order vs. the §6.2 hierarchical
+//! same-node-first order ([`crate::probe`]).
+
+use pgas::MachineModel;
+
+use crate::probe::ProbeOrder;
+
+/// How many chunks move per successful steal: the grant-sizing policy a
+/// victim (or lock-holding thief) applies to its stealable surplus.
+///
+/// Contract: `amount(0) == 0` and `amount(avail) <= avail` — a policy can
+/// never grant work that is not there.
+pub trait StealPolicy {
+    /// Chunks to transfer when `avail` chunks are stealable.
+    fn amount(&self, avail: usize) -> usize;
+}
+
+/// §3.1: one chunk per steal — minimal transfer cost, slow diffusion.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StealOne;
+
+impl StealPolicy for StealOne {
+    fn amount(&self, avail: usize) -> usize {
+        avail.min(1)
+    }
+}
+
+/// §3.3.2 rapid diffusion: half the available chunks (rounded down), or the
+/// single chunk when only one is there. "Stealing half ... allows work to
+/// diffuse more rapidly through the pool of idle processors."
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StealHalf;
+
+impl StealPolicy for StealHalf {
+    fn amount(&self, avail: usize) -> usize {
+        if avail > 1 {
+            avail / 2
+        } else {
+            avail
+        }
+    }
+}
+
+/// Extension: adapt the transfer to the victim's surplus depth. Poor victims
+/// (≤ 2 chunks) yield a single chunk — minimal disruption where steal-half
+/// would strip them anyway; moderately rich victims diffuse half (§3.3.2);
+/// very rich victims (≥ 8 chunks) yield three quarters, spreading hoarded
+/// subtrees aggressively so diffusion does not bottleneck on one deep stack
+/// at large thread counts.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AdaptiveDepth;
+
+impl StealPolicy for AdaptiveDepth {
+    fn amount(&self, avail: usize) -> usize {
+        match avail {
+            0 => 0,
+            1..=2 => 1,
+            3..=7 => avail / 2,
+            _ => avail - avail / 4,
+        }
+    }
+}
+
+/// Value-level steal policy, for storing in the (`Copy`) run configuration
+/// and in transport state. Implements [`StealPolicy`] by delegating to the
+/// corresponding unit policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StealPolicyKind {
+    /// [`StealOne`].
+    One,
+    /// [`StealHalf`].
+    Half,
+    /// [`AdaptiveDepth`].
+    Adaptive,
+}
+
+impl StealPolicyKind {
+    /// Short label for reports and CSV columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            StealPolicyKind::One => "one",
+            StealPolicyKind::Half => "half",
+            StealPolicyKind::Adaptive => "adaptive",
+        }
+    }
+}
+
+impl StealPolicy for StealPolicyKind {
+    fn amount(&self, avail: usize) -> usize {
+        match self {
+            StealPolicyKind::One => StealOne.amount(avail),
+            StealPolicyKind::Half => StealHalf.amount(avail),
+            StealPolicyKind::Adaptive => AdaptiveDepth.amount(avail),
+        }
+    }
+}
+
+/// Which victim-order construction a bundle uses. Both resolve to a
+/// [`ProbeOrder`] — the single xorshift/Fisher–Yates source in the codebase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VictimPolicy {
+    /// Flat pseudo-random order over all other threads (§3.1).
+    Flat,
+    /// Same-node victims first, classified by [`MachineModel::distance`]
+    /// (§6.2's `bupc_thread_distance()` idea).
+    Hier,
+}
+
+impl VictimPolicy {
+    /// Short label for reports and CSV columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            VictimPolicy::Flat => "flat",
+            VictimPolicy::Hier => "hier",
+        }
+    }
+
+    /// Build this thread's probe-order generator.
+    pub fn build(self, me: usize, n: usize, seed: u64, machine: &MachineModel) -> ProbeOrder {
+        match self {
+            VictimPolicy::Flat => ProbeOrder::flat(me, n, seed),
+            VictimPolicy::Hier => ProbeOrder::hierarchical(me, n, seed, machine),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_contract(p: &dyn Fn(usize) -> usize) {
+        assert_eq!(p(0), 0, "amount(0) must be 0");
+        for avail in 1..=64 {
+            let a = p(avail);
+            assert!(a >= 1, "nonzero surplus must grant at least one chunk");
+            assert!(a <= avail, "cannot grant more than available");
+        }
+    }
+
+    #[test]
+    fn all_policies_satisfy_the_contract() {
+        check_contract(&|a| StealOne.amount(a));
+        check_contract(&|a| StealHalf.amount(a));
+        check_contract(&|a| AdaptiveDepth.amount(a));
+        for kind in [
+            StealPolicyKind::One,
+            StealPolicyKind::Half,
+            StealPolicyKind::Adaptive,
+        ] {
+            check_contract(&|a| kind.amount(a));
+        }
+    }
+
+    #[test]
+    fn half_matches_the_paper_rule() {
+        assert_eq!(StealHalf.amount(1), 1);
+        assert_eq!(StealHalf.amount(2), 1);
+        assert_eq!(StealHalf.amount(7), 3);
+        assert_eq!(StealHalf.amount(8), 4);
+    }
+
+    #[test]
+    fn adaptive_has_three_regimes() {
+        // Poor victims: one chunk, where half would take the same or more.
+        assert_eq!(AdaptiveDepth.amount(1), 1);
+        assert_eq!(AdaptiveDepth.amount(2), 1);
+        // Middling: rapid diffusion.
+        assert_eq!(AdaptiveDepth.amount(4), 2);
+        assert_eq!(AdaptiveDepth.amount(7), 3);
+        // Rich: three quarters — strictly more aggressive than half.
+        assert_eq!(AdaptiveDepth.amount(8), 6);
+        assert_eq!(AdaptiveDepth.amount(16), 12);
+        assert!(AdaptiveDepth.amount(12) > StealHalf.amount(12));
+    }
+
+    #[test]
+    fn kind_delegates_to_unit_policies() {
+        for avail in 0..=32 {
+            assert_eq!(StealPolicyKind::One.amount(avail), StealOne.amount(avail));
+            assert_eq!(StealPolicyKind::Half.amount(avail), StealHalf.amount(avail));
+            assert_eq!(
+                StealPolicyKind::Adaptive.amount(avail),
+                AdaptiveDepth.amount(avail)
+            );
+        }
+    }
+}

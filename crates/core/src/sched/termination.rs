@@ -1,0 +1,349 @@
+//! Termination-detection policies: how an out-of-work thread discovers more
+//! work or proves global quiescence.
+//!
+//! Three detectors cover the paper's spectrum:
+//!
+//! - [`CancelableTerm`] (§3.1): enter a cancelable barrier after every
+//!   unsuccessful probe sweep; any release resets the barrier.
+//! - [`StreamlinedTerm`] (§3.3.1): enter the barrier only when a full sweep
+//!   saw every other thread out of work (the tri-state reading of
+//!   `work_avail`), keep probing one victim per spin from inside, announce
+//!   termination down a binary tree.
+//! - [`RingTerm`] (§3.2): Dinan et al.'s counting token ring over message
+//!   transports — no shared counters at all.
+//!
+//! Each detector drives the transport through the same narrow hook set
+//! ([`StealTransport`]), so any probing detector composes with any
+//! shared-region transport and the ring with any message transport.
+
+use pgas::comm::Item;
+use pgas::Comm;
+
+use mpisim::TokenRing;
+
+use crate::barrier::{
+    BarrierOutcome, CancelableBarrier, TerminationBarrier, BARRIER_BACKOFF_NS,
+};
+use crate::probe::VictimSelector;
+use crate::stack::DfsStack;
+use crate::state::State;
+use crate::watchdog::Watchdog;
+
+use super::{Cx, Discovery, StealOutcome, StealTransport};
+
+/// How an idle worker finds more work or detects global termination — the
+/// §3.1 → §3.3.1 → §3.2 policy axis.
+pub trait TerminationDetector<T: Item, C: Comm<T>> {
+    /// The owner released a chunk; detectors whose protocol must observe
+    /// releases (the cancelable barrier) react here.
+    fn on_release(&mut self, _comm: &mut C) {}
+
+    /// The worker is out of local and shared work: probe, steal, or park
+    /// until either work is in hand or termination is proven. On
+    /// [`Discovery::GotWork`] the transport has already placed work on
+    /// `stack`.
+    fn discover<ST, VS>(
+        &mut self,
+        comm: &mut C,
+        stack: &mut DfsStack<T>,
+        transport: &mut ST,
+        victims: &mut VS,
+        cx: &mut Cx,
+    ) -> Discovery
+    where
+        ST: StealTransport<T, C>,
+        VS: VictimSelector;
+}
+
+/// Result of one full probe sweep over a victim cycle.
+enum Sweep {
+    /// A steal landed: work is on the stack.
+    Stole,
+    /// Every probed thread advertised "out of work" (§3.3.1's entry
+    /// condition for the termination barrier).
+    AllOut,
+    /// At least one thread was still working (or a steal raced and failed).
+    SomeWorking,
+}
+
+/// One probe cycle over every victim: examine advertised work levels without
+/// locking (§3.1), steal where surplus shows, and keep the transport's
+/// protocol responsive between probes.
+fn sweep<T, C, ST, VS>(
+    comm: &mut C,
+    stack: &mut DfsStack<T>,
+    transport: &mut ST,
+    victims: &mut VS,
+    cx: &mut Cx,
+) -> Sweep
+where
+    T: Item,
+    C: Comm<T>,
+    ST: StealTransport<T, C>,
+    VS: VictimSelector,
+{
+    let mut all_out = true;
+    for v in victims.cycle() {
+        cx.res.probes += 1;
+        let avail = transport.probe(comm, v);
+        if avail > 0 {
+            cx.enter(comm, State::Stealing);
+            if transport.steal(comm, stack, v, cx) == StealOutcome::Got {
+                return Sweep::Stole;
+            }
+            cx.enter(comm, State::Searching);
+            all_out = false; // it had work a moment ago
+        } else if avail == 0 {
+            all_out = false; // working, no surplus (§3.3.1 tri-state)
+        }
+        transport.idle_service(comm, stack, cx);
+    }
+    if all_out {
+        Sweep::AllOut
+    } else {
+        Sweep::SomeWorking
+    }
+}
+
+/// §3.3.1 in-barrier loop: spin on our local termination flag, probe a
+/// single victim per iteration ("each thread that has entered the barrier
+/// only inspects one other thread to avoid overwhelming the remaining
+/// working threads"), leave the barrier to steal when one shows work.
+/// Returns `true` on termination, `false` if we left with stolen work.
+fn barrier_wait<T, C, ST, VS>(
+    comm: &mut C,
+    stack: &mut DfsStack<T>,
+    transport: &mut ST,
+    victims: &mut VS,
+    cx: &mut Cx,
+) -> bool
+where
+    T: Item,
+    C: Comm<T>,
+    ST: StealTransport<T, C>,
+    VS: VictimSelector,
+{
+    if TerminationBarrier::enter(comm) {
+        TerminationBarrier::announce_root(comm);
+    }
+    let mut dog = Watchdog::new(ST::BARRIER_WATCHDOG);
+    loop {
+        dog.tick();
+        if TerminationBarrier::term_seen(comm) {
+            TerminationBarrier::propagate(comm);
+            return true;
+        }
+        transport.idle_service(comm, stack, cx);
+        if let Some(v) = victims.one() {
+            cx.res.probes += 1;
+            if transport.probe(comm, v) > 0 {
+                TerminationBarrier::leave(comm);
+                if transport.steal(comm, stack, v, cx) == StealOutcome::Got {
+                    return false;
+                }
+                if TerminationBarrier::enter(comm) {
+                    TerminationBarrier::announce_root(comm);
+                }
+                // Seeing (even losing) work is observable progress.
+                dog.reset();
+            }
+        }
+        comm.advance_idle(BARRIER_BACKOFF_NS);
+    }
+}
+
+/// §3.1 cancelable-barrier termination: enter the barrier after *any*
+/// unsuccessful sweep; every release cancels it and sends waiters back out.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CancelableTerm;
+
+impl<T: Item, C: Comm<T>> TerminationDetector<T, C> for CancelableTerm {
+    fn on_release(&mut self, comm: &mut C) {
+        // §3.1: every release resets the cancelable barrier so that waiting
+        // threads come back for the fresh chunk.
+        CancelableBarrier::cancel(comm);
+    }
+
+    fn discover<ST, VS>(
+        &mut self,
+        comm: &mut C,
+        stack: &mut DfsStack<T>,
+        transport: &mut ST,
+        victims: &mut VS,
+        cx: &mut Cx,
+    ) -> Discovery
+    where
+        ST: StealTransport<T, C>,
+        VS: VictimSelector,
+    {
+        cx.enter(comm, State::Searching);
+        loop {
+            if let Sweep::Stole = sweep(comm, stack, transport, victims, cx) {
+                transport.got_work(comm);
+                return Discovery::GotWork;
+            }
+            // §3.1: enter the barrier after any unsuccessful sweep.
+            cx.enter(comm, State::Terminating);
+            match CancelableBarrier::wait_with(comm, |c| {
+                transport.idle_service(c, stack, cx)
+            }) {
+                BarrierOutcome::Terminated => return Discovery::Terminated,
+                BarrierOutcome::Canceled => cx.enter(comm, State::Searching),
+            }
+        }
+    }
+}
+
+/// §3.3.1 streamlined termination: full-cycle entry condition, in-barrier
+/// probing on local flags, tree-based announcement.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamlinedTerm;
+
+impl<T: Item, C: Comm<T>> TerminationDetector<T, C> for StreamlinedTerm {
+    fn discover<ST, VS>(
+        &mut self,
+        comm: &mut C,
+        stack: &mut DfsStack<T>,
+        transport: &mut ST,
+        victims: &mut VS,
+        cx: &mut Cx,
+    ) -> Discovery
+    where
+        ST: StealTransport<T, C>,
+        VS: VictimSelector,
+    {
+        cx.enter(comm, State::Searching);
+        loop {
+            match sweep(comm, stack, transport, victims, cx) {
+                Sweep::Stole => {
+                    transport.got_work(comm);
+                    return Discovery::GotWork;
+                }
+                // §3.3.1: "If it finds even a single thread still working,
+                // it continues searching for work and does not enter the
+                // barrier."
+                Sweep::SomeWorking => continue,
+                Sweep::AllOut => {
+                    cx.enter(comm, State::Terminating);
+                    if barrier_wait(comm, stack, transport, victims, cx) {
+                        return Discovery::Terminated;
+                    }
+                    // Stole work from inside the barrier: back to work.
+                    transport.got_work(comm);
+                    return Discovery::GotWork;
+                }
+            }
+        }
+    }
+}
+
+/// §3.2 counting token ring ([`TokenRing`]): termination is proven when the
+/// token completes two clean passes with globally balanced transfer-message
+/// counts. With a stealing transport the detector interleaves one steal
+/// attempt per ring step (Dinan et al.'s structure); with a pushing
+/// transport ([`StealTransport::STEALS`] = `false`) idle threads simply
+/// alternate mailbox absorption with ring steps.
+#[derive(Debug)]
+pub struct RingTerm {
+    ring: TokenRing,
+}
+
+impl RingTerm {
+    /// Ring membership for thread `me` of `n`.
+    pub fn new(me: usize, n: usize) -> RingTerm {
+        RingTerm {
+            ring: TokenRing::new(me, n),
+        }
+    }
+}
+
+impl<T: Item, C: Comm<T>> TerminationDetector<T, C> for RingTerm {
+    fn discover<ST, VS>(
+        &mut self,
+        comm: &mut C,
+        stack: &mut DfsStack<T>,
+        transport: &mut ST,
+        victims: &mut VS,
+        cx: &mut Cx,
+    ) -> Discovery
+    where
+        ST: StealTransport<T, C>,
+        VS: VictimSelector,
+    {
+        if !ST::STEALS {
+            // Work pushing: idle threads have no initiative — park in
+            // Terminating, absorbing pushed chunks between ring steps.
+            cx.enter(comm, State::Terminating);
+            loop {
+                if transport.absorb_pending(comm, stack, cx) {
+                    return Discovery::GotWork;
+                }
+                let (sent, recv) = transport.ring_counts();
+                if self.ring.step(comm, sent, recv) {
+                    return Discovery::Terminated;
+                }
+                comm.advance_idle(ST::IDLE_BACKOFF_NS);
+            }
+        }
+
+        // Stealing transport: one victim per iteration, alternating with
+        // termination-token handling (Dinan et al. interleave the same way):
+        // at large thread counts a full probe sweep between token steps
+        // would park the token for thousands of messages.
+        cx.enter(comm, State::Searching);
+        let mut cycle = victims.cycle();
+        let mut next = 0usize;
+        loop {
+            // Deny whatever arrived while we were idle.
+            transport.idle_service(comm, stack, cx);
+            // Late grants from timed-out victims are still work in hand.
+            if transport.absorb_pending(comm, stack, cx) {
+                return Discovery::GotWork;
+            }
+            if next >= cycle.len() {
+                cycle = victims.cycle();
+                next = 0;
+            }
+            if cycle.is_empty() {
+                // Solo rank: nothing to steal from; go straight to the ring.
+                cx.enter(comm, State::Terminating);
+                let (sent, recv) = transport.ring_counts();
+                if self.ring.step(comm, sent, recv) {
+                    return Discovery::Terminated;
+                }
+                cx.enter(comm, State::Searching);
+                continue;
+            }
+            let v = cycle[next];
+            next += 1;
+            cx.res.probes += 1;
+            cx.enter(comm, State::Stealing);
+            let outcome = transport.steal(comm, stack, v, cx);
+            cx.enter(comm, State::Searching);
+            match outcome {
+                StealOutcome::Got => return Discovery::GotWork,
+                StealOutcome::TimedOut => {
+                    // Back off, then re-probe the next victim directly — no
+                    // ring step: the timed-out request proves nothing about
+                    // global quiescence.
+                    transport.after_timeout(comm, cx);
+                    continue;
+                }
+                StealOutcome::Denied | StealOutcome::TermRaced => {
+                    cx.enter(comm, State::Terminating);
+                    if outcome == StealOutcome::TermRaced {
+                        // The announcement already proves quiescence; the
+                        // ring must not step again (the token is retired).
+                        return Discovery::Terminated;
+                    }
+                    let (sent, recv) = transport.ring_counts();
+                    if self.ring.step(comm, sent, recv) {
+                        return Discovery::Terminated;
+                    }
+                    comm.advance_idle(ST::IDLE_BACKOFF_NS);
+                    cx.enter(comm, State::Searching);
+                }
+            }
+        }
+    }
+}

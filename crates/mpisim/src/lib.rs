@@ -25,6 +25,8 @@
 //! broadcast) — which is what the paper's performance results depend on —
 //! is identical.
 
+#![warn(missing_docs)]
+
 use pgas::{Comm, Msg};
 
 /// Reserved message tags. Applications must use non-negative tags.

@@ -700,7 +700,7 @@ impl<T: Item> SimComm<T> {
         let t = self.local_clock + self.pending_work + cost;
         self.pending_work = 0;
         self.local_clock = t;
-        if self.lookahead && self.next_min.map_or(true, |min| (t, self.tid) < min) {
+        if self.lookahead && self.next_min.is_none_or(|min| (t, self.tid) < min) {
             self.conductor.fast_ops += 1;
             self.conductor.fast_by_class[class.index()] += 1;
             let mem = match &self.backend {

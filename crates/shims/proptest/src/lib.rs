@@ -425,7 +425,7 @@ mod tests {
         #[test]
         fn macro_roundtrip(a in 1u64..100, pair in ((0usize..4), any::<i64>())) {
             prop_assume!(a != 99);
-            prop_assert!(a >= 1 && a < 100);
+            prop_assert!((1..100).contains(&a));
             prop_assert_eq!(pair.0, pair.0);
         }
     }

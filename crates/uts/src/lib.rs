@@ -22,6 +22,8 @@
 //! assert!(result.nodes >= 5); // root + 4 children at least
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod node;
 pub mod presets;
 pub mod seq;

@@ -1,0 +1,73 @@
+//! Composing a non-paper policy bundle.
+//!
+//! The scheduler core factors every worker into four policy axes (see
+//! `docs/policies.md`): victim order, steal amount, termination detection,
+//! and steal transport. The seven `Algorithm` labels are just named bundles
+//! of those axes — and `RunConfig` can override the victim/steal axes to run
+//! combinations the paper never built.
+//!
+//! This example takes `upc-term` (§3.3.1: locked shared stacks, streamlined
+//! termination, steal-one) and upgrades its two overridable axes to the
+//! extensions: hierarchical same-node-first victims (§6.2 future work) and
+//! the adaptive steal policy (grant scaled to the victim's surplus depth).
+//! Neither combination exists in the paper — hierarchical victims were only
+//! proposed for the distmem protocol — yet here they are two config lines.
+//!
+//! Run with: `cargo run --release --example policy_grid`
+
+use pgas::MachineModel;
+use uts_dlb::worksteal::{
+    run_sim, Algorithm, RunConfig, StealPolicyKind, UtsGen, VictimPolicy,
+};
+
+fn main() {
+    let preset = uts_tree::presets::t_m();
+    let gen = UtsGen::new(preset.spec);
+    let machine = MachineModel::kittyhawk();
+    let threads = 128;
+    let k = 8;
+
+    println!(
+        "upgrading upc-term axis by axis: {} nodes, p={}, k={}, {}\n",
+        preset.expected.nodes, threads, k, machine.name
+    );
+    println!(
+        "{:<28} {:>10} {:>10} {:>8}",
+        "bundle", "t_virt(ms)", "Mnodes/s", "steals"
+    );
+
+    let mut base = RunConfig::new(Algorithm::Term, k);
+    let steps: [(&str, Option<VictimPolicy>, Option<StealPolicyKind>); 4] = [
+        ("locked/flat/one (paper)", None, None),
+        ("locked/hier/one", Some(VictimPolicy::Hier), None),
+        ("locked/flat/adaptive", None, Some(StealPolicyKind::Adaptive)),
+        (
+            "locked/hier/adaptive",
+            Some(VictimPolicy::Hier),
+            Some(StealPolicyKind::Adaptive),
+        ),
+    ];
+
+    let mut baseline = None;
+    for (name, vp, sp) in steps {
+        base.victim_policy = vp;
+        base.steal_policy = sp;
+        let report = run_sim(machine.clone(), threads, &gen, &base);
+        assert_eq!(report.total_nodes, preset.expected.nodes, "conservation");
+        let rate = report.nodes_per_sec() / 1e6;
+        let baseline = *baseline.get_or_insert(rate);
+        println!(
+            "{:<28} {:>10.2} {:>10.3} {:>8}  ({:+.1}% vs paper bundle)",
+            name,
+            report.makespan_ns as f64 / 1e6,
+            rate,
+            report.total_steals(),
+            100.0 * (rate / baseline - 1.0)
+        );
+    }
+
+    println!(
+        "\nThe full transport × victims × steal grid at p=256: \
+         `cargo run --release -p uts-bench --bin policy_grid`."
+    );
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repository CI gate: build, test, lint. Run from the repo root.
+#
+#   scripts/ci.sh
+#
+# Mirrors what reviewers run before merging; keep it green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace -- -D warnings
+
+echo "CI OK"

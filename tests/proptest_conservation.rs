@@ -23,7 +23,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 24,
         max_shrink_iters: 40,
-        ..ProptestConfig::default()
     })]
 
     /// Conservation under random trees and configurations.

@@ -161,7 +161,7 @@ fn latency_spike_during_termination_probe() {
         window_ns: 50_000,
         stall_per_mille: 0,
         straggler_per_mille: 0,
-        ..FaultPlan::seeded(0x5B1_CE)
+        ..FaultPlan::seeded(0x5B1CE)
     };
     for alg in [Algorithm::SharedMem, Algorithm::Term, Algorithm::MpiWs] {
         fault_stress(alg, plan, Some(50_000), 12);
