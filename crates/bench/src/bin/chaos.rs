@@ -13,9 +13,18 @@
 //! baseline, plus the hardening counters (timeouts, retracts won/lost,
 //! retries, backoff time).
 //!
+//! A second sweep covers the *crash* classes (docs/faults.md): for every
+//! seed, a [`FaultPlan::crashy`]-derived plan with message loss,
+//! duplication, and a mid-run rank death window runs against every paper
+//! algorithm, and must satisfy conservation **with multiplicity** — every
+//! node explored at least once, every re-exploration accounted in
+//! `duplicate_nodes`. Any violation prints the algorithm and the complete
+//! offending plan (seed included) so the failure replays with one
+//! `FaultPlan` literal.
+//!
 //! Run with: `cargo run --release -p uts-bench --bin chaos -- \
-//!     [--schedules 50] [--threads 16] [--tree tiny] [--machine kittyhawk] \
-//!     [--timeout-ns 50000] [--budget-s 600]`
+//!     [--schedules 50] [--crash-schedules N] [--threads 16] [--tree tiny] \
+//!     [--machine kittyhawk] [--timeout-ns 50000] [--budget-s 600]`
 //!
 //! Exits nonzero on the first violation.
 
@@ -32,6 +41,8 @@ fn main() {
     let machine_name: String = arg("--machine", "kittyhawk".to_string());
     let timeout_ns: u64 = arg("--timeout-ns", 50_000);
     let budget_s: u64 = arg("--budget-s", 600);
+    let crash_schedules: u64 = arg("--crash-schedules", schedules);
+    let kill_pm: u64 = arg("--kill-pm", 350);
 
     let p = preset_by_name(&tree);
     let gen = UtsGen::new(p.spec);
@@ -115,6 +126,72 @@ fn main() {
             retracts_lost,
             retries,
             backoff_ns / 1_000
+        );
+    }
+
+    println!(
+        "\ncrash soak: {crash_schedules} crash plans x {} algorithms \
+         (loss+dup, kill {kill_pm}\u{2030}, conservation with multiplicity)",
+        Algorithm::paper_set().len()
+    );
+    for alg in Algorithm::paper_set() {
+        // Fault-free baseline (no timeout armed: crash runs auto-arm their
+        // own) for the makespan-inflation figure.
+        let base = run_sim(m.clone(), threads, &gen, &RunConfig::new(alg, 8));
+        let mut deaths = 0u64;
+        let mut recovered = 0u64;
+        let mut dups = 0u64;
+        let mut worst_mult = 1u64;
+        let mut sum_inflation = 0.0f64;
+        for seed in 0..crash_schedules {
+            if t0.elapsed().as_secs() > budget_s {
+                eprintln!(
+                    "VIOLATION: wall-clock budget {budget_s}s exceeded at \
+                     {} crash seed {seed} — livelock suspected",
+                    alg.label()
+                );
+                violations += 1;
+                break;
+            }
+            let mut cfg = RunConfig::new(alg, 8);
+            // crashy()'s rates with the death window pulled forward so most
+            // kills land while the tree is still being explored. The steal
+            // timeout is left unset: crash plans must auto-arm it.
+            cfg.faults = FaultPlan {
+                kill_per_mille: kill_pm as u32,
+                kill_min_ns: 30_000,
+                kill_span_ns: 300_000,
+                ..FaultPlan::crashy(seed)
+            };
+            let r = run_sim(m.clone(), threads, &gen, &cfg);
+            runs += 1;
+            if r.total_nodes - r.duplicate_nodes != seq_nodes {
+                eprintln!(
+                    "VIOLATION: {} crash seed {seed}: {} distinct nodes \
+                     explored, {} expected — replay with plan {:?}",
+                    alg.label(),
+                    r.total_nodes - r.duplicate_nodes,
+                    seq_nodes,
+                    cfg.faults
+                );
+                violations += 1;
+            }
+            deaths += r.deaths as u64;
+            recovered += r.recovered_nodes;
+            dups += r.duplicate_nodes;
+            worst_mult = worst_mult.max(r.max_multiplicity);
+            sum_inflation += r.makespan_ns as f64 / base.makespan_ns.max(1) as f64;
+        }
+        println!(
+            "{:<16} deaths {:>3}/{} recovered {:>6} nodes dup {:>6} \
+             worst-multiplicity {} inflation mean {:>5.2}x",
+            alg.label(),
+            deaths,
+            crash_schedules,
+            recovered,
+            dups,
+            worst_mult,
+            sum_inflation / crash_schedules.max(1) as f64
         );
     }
 

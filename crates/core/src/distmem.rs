@@ -175,6 +175,20 @@ impl<T: Item, C: Comm<T>> StealTransport<T, C> for DistMemTransport {
         comm.put(comm.my_id(), vars::WORK_AVAIL, 0);
     }
 
+    fn deathbed(&mut self, comm: &mut C, stack: &mut DfsStack<T>, cx: &mut Cx) {
+        // Deny whichever thief is currently installed in our request cell
+        // (a thief installed later hits its timeout and retracts — crash
+        // mode always arms the steal timeout), fold the shared region back
+        // into the local deque, and retire the tri-state marker. Granted
+        // chunks below `base` stay in the area for their thieves' one-sided
+        // copies; the spill appends past them.
+        deny_request(comm, cx.cfg, &mut cx.res);
+        while stack.avail > 0 {
+            reacquire(comm, stack, &mut cx.res);
+        }
+        comm.put(comm.my_id(), vars::WORK_AVAIL, vars::OUT_OF_WORK);
+    }
+
     fn finish(&mut self, comm: &mut C, stack: &mut DfsStack<T>, _cx: &mut Cx) {
         // Premature-termination detector: a thread leaving through the
         // barrier with work still in hand means the termination protocol

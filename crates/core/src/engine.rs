@@ -26,10 +26,16 @@ where
     C: Comm<G::Task>,
 {
     let mut res = crate::sched::run_bundle(comm, gen, cfg);
-    // In-band final count, as the original UTS does with upc_all_reduce
-    // after termination. Every thread learns the global total.
-    let mut coll = Collectives::new(vars::COLL_BASE);
-    res.reduced_total = coll.all_reduce_sum(comm, res.nodes as i64) as u64;
+    if cfg.faults.crash_active() {
+        // A dead rank can never join the collective; the host-side
+        // aggregation does the conservation accounting instead.
+        res.reduced_total = 0;
+    } else {
+        // In-band final count, as the original UTS does with upc_all_reduce
+        // after termination. Every thread learns the global total.
+        let mut coll = Collectives::new(vars::COLL_BASE);
+        res.reduced_total = coll.all_reduce_sum(comm, res.nodes as i64) as u64;
+    }
     res
 }
 
@@ -61,6 +67,11 @@ where
     G: TaskGen,
 {
     let machine_name = machine.name;
+    assert!(
+        !cfg.faults.crash_active(),
+        "crash fault plans are sim-only (virtual-time kills and leases \
+         have no native analogue); run them through run_sim"
+    );
     let cluster: NativeCluster<G::Task> = NativeCluster::new(machine, nthreads, vars::space_config());
     let report = cluster.run(|comm| worker(comm, gen, cfg));
     assemble(
@@ -96,14 +107,32 @@ fn assemble(
     per_thread: Vec<ThreadResult>,
 ) -> RunReport {
     let total_nodes: u64 = per_thread.iter().map(|t| t.nodes).sum();
-    // The in-band reduction must agree with the host-side sum on every
-    // thread — a run-time conservation check in every single run.
-    for (t, r) in per_thread.iter().enumerate() {
-        assert_eq!(
-            r.reduced_total, total_nodes,
-            "thread {t}: in-band reduced total disagrees with host-side sum"
-        );
+    let crash = cfg.faults.crash_active();
+    if !crash {
+        // The in-band reduction must agree with the host-side sum on every
+        // thread — a run-time conservation check in every single run. (Crash
+        // runs skip the collective: a dead rank cannot join it.)
+        for (t, r) in per_thread.iter().enumerate() {
+            assert_eq!(
+                r.reduced_total, total_nodes,
+                "thread {t}: in-band reduced total disagrees with host-side sum"
+            );
+        }
     }
+    let (recovered_nodes, duplicate_nodes, max_multiplicity) = if crash {
+        let recovered = per_thread.iter().map(|t| t.recovered_nodes).sum();
+        let mut mult: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for t in &per_thread {
+            for &fp in &t.explored {
+                *mult.entry(fp).or_insert(0) += 1;
+            }
+        }
+        let dup = mult.values().map(|&m| m - 1).sum();
+        let max = mult.values().copied().max().unwrap_or(1).max(1);
+        (recovered, dup, max)
+    } else {
+        (0, 0, 1)
+    };
     RunReport {
         label: cfg.algorithm.label(),
         machine,
@@ -111,6 +140,10 @@ fn assemble(
         chunk_size: cfg.chunk_size,
         total_nodes,
         makespan_ns,
+        recovered_nodes,
+        duplicate_nodes,
+        max_multiplicity,
+        deaths: per_thread.iter().filter(|t| t.died).count(),
         per_thread,
     }
 }

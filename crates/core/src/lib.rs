@@ -45,6 +45,7 @@ pub mod model;
 pub mod mpi_ws;
 pub mod probe;
 pub mod pushing;
+pub mod recovery;
 pub mod report;
 pub mod sched;
 pub mod stack;

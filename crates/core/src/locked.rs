@@ -85,6 +85,25 @@ impl<T: Item, C: Comm<T>> StealTransport<T, C> for LockedTransport {
     fn got_work(&mut self, comm: &mut C) {
         comm.put(comm.my_id(), vars::WORK_AVAIL, 0);
     }
+
+    fn deathbed(&mut self, comm: &mut C, stack: &mut DfsStack<T>, _cx: &mut Cx) {
+        // Fold every chunk still advertised in our shared region back into
+        // the local deque, under the lock so no thief reserves concurrently,
+        // and retire the region. Chunks already reserved by thieves stay in
+        // the area untouched (the spill appends past them), so an in-flight
+        // one-sided copy still reads valid data.
+        let me = comm.my_id();
+        comm.lock(me, vars::STACK_LOCK);
+        let avail = comm.get(me, vars::WORK_AVAIL).max(0) as usize;
+        let mut buf = Vec::with_capacity(avail * stack.k);
+        if avail > 0 {
+            let base = comm.get(me, vars::STEAL_BASE) as usize;
+            comm.area_read(me, base * stack.k, avail * stack.k, &mut buf);
+        }
+        comm.put(me, vars::WORK_AVAIL, vars::OUT_OF_WORK);
+        comm.unlock(me, vars::STACK_LOCK);
+        stack.push_all(&buf);
+    }
 }
 
 /// Publish "no work at all" (§3.3.1's distinct value), under the stack lock

@@ -23,6 +23,7 @@
 use pgas::comm::Item;
 use pgas::Comm;
 
+use crate::recovery::{Lineage, TAG_ACK};
 use crate::sched::policy::{StealPolicy, StealPolicyKind};
 use crate::sched::{Cx, StealOutcome, StealTransport};
 use crate::stack::DfsStack;
@@ -54,8 +55,16 @@ const TIMEOUT_BACKOFF_MAX_NS: u64 = 512_000;
 /// message *must* eventually be consumed — [`StealTransport::absorb_pending`]
 /// does that — or the ring would never balance. The count stays 0 (and the
 /// drain is never even probed) unless `cfg.steal_timeout_ns` is armed.
-#[derive(Clone, Copy, Debug)]
-pub struct MpiTransport {
+///
+/// Under a crash-fault plan (`docs/faults.md`) the transport additionally
+/// runs the lineage protocol: every WORK grant is registered in a
+/// [`Lineage`] with a payload copy and its id stamped into `meta[0]`; the
+/// thief acknowledges with [`TAG_ACK`] after marking itself working; grants
+/// never acknowledged (lost WORK, lost ACK, dead thief) are re-injected
+/// onto the donor's own stack. None of this issues a single operation
+/// without a crash class active.
+#[derive(Clone, Debug)]
+pub struct MpiTransport<T> {
     sp: StealPolicyKind,
     since_poll: u64,
     /// Responses still outstanding from victims we timed out on.
@@ -66,11 +75,15 @@ pub struct MpiTransport {
     work_sent: i64,
     /// Cumulative WORK messages received (for the termination token).
     work_recv: i64,
+    /// Donor-side grant registry (crash mode only; empty otherwise).
+    lineage: Lineage<T>,
+    /// Whether the run's fault plan has a crash class active.
+    crash: bool,
 }
 
-impl MpiTransport {
+impl<T: Item> MpiTransport<T> {
     /// An mpi-ws transport granting per the given steal policy.
-    pub fn new(sp: StealPolicyKind) -> MpiTransport {
+    pub fn new(sp: StealPolicyKind) -> MpiTransport<T> {
         MpiTransport {
             sp,
             since_poll: 0,
@@ -78,6 +91,39 @@ impl MpiTransport {
             timeout_backoff: TIMEOUT_BACKOFF_MIN_NS,
             work_sent: 0,
             work_recv: 0,
+            lineage: Lineage::new(),
+            crash: false,
+        }
+    }
+
+    /// Crash mode: close acknowledged grants and re-inject overdue ones.
+    fn crash_lineage_service<C: Comm<T>>(
+        &mut self,
+        comm: &mut C,
+        stack: &mut DfsStack<T>,
+        cx: &mut Cx,
+    ) {
+        if !self.crash {
+            return;
+        }
+        while let Some(m) = comm.try_recv(Some(TAG_ACK)) {
+            self.lineage.ack(comm, m.meta[0] as u64);
+        }
+        let items = self.lineage.reinject_due(comm, stack, &mut cx.recovery);
+        if items > 0 {
+            cx.res.recovered_nodes += items;
+            let now = comm.now();
+            cx.log.reinject(items, now);
+        }
+    }
+
+    /// Crash mode: mark ourselves working, then acknowledge grant `m` so
+    /// the donor can close its lineage entry. Working-before-ACK is the
+    /// ordering the quiescence scan's soundness rests on.
+    fn crash_ack_work<C: Comm<T>>(&mut self, comm: &mut C, src: usize, grant_id: i64, cx: &mut Cx) {
+        if self.crash {
+            cx.recovery.publish_working(comm);
+            comm.send(src, TAG_ACK, [grant_id, 0, 0, 0], &[]);
         }
     }
 
@@ -85,12 +131,15 @@ impl MpiTransport {
     /// if we hold a comfortable surplus, a denial otherwise. The keep
     /// threshold is `release_depth.max(2k)`; the policy sizes its grant from
     /// the spare chunks above it, shipped as one message.
-    fn service_requests<T, C>(&mut self, comm: &mut C, stack: &mut DfsStack<T>, cx: &mut Cx)
+    fn service_requests<C>(&mut self, comm: &mut C, stack: &mut DfsStack<T>, cx: &mut Cx)
     where
-        T: Item,
         C: Comm<T>,
     {
+        self.crash_lineage_service(comm, stack, cx);
         while let Some(req) = comm.try_recv(Some(TAG_REQ)) {
+            if self.crash && cx.recovery.is_dead(req.src) {
+                continue; // a confirmed-dead thief cannot consume a grant
+            }
             let threshold = cx.cfg.release_depth.max(2 * stack.k);
             if stack.local_len() >= threshold {
                 let spare = (stack.local_len() - threshold) / stack.k + 1;
@@ -99,7 +148,15 @@ impl MpiTransport {
                 for _ in 0..give {
                     payload.extend_from_slice(&stack.take_bottom_chunk());
                 }
-                comm.send(req.src, TAG_WORK, [0; 4], &payload);
+                let meta = if self.crash {
+                    // Grant-before-send: the lineage entry (and the LIN_OUT
+                    // marker it raises) must exist before the message can.
+                    let id = self.lineage.open(comm, req.src, &payload);
+                    [id as i64, 0, 0, 0]
+                } else {
+                    [0; 4]
+                };
+                comm.send(req.src, TAG_WORK, meta, &payload);
                 self.work_sent += 1;
                 cx.res.requests_serviced += 1;
                 cx.log.release(comm.now());
@@ -110,9 +167,13 @@ impl MpiTransport {
     }
 }
 
-impl<T: Item, C: Comm<T>> StealTransport<T, C> for MpiTransport {
+impl<T: Item, C: Comm<T>> StealTransport<T, C> for MpiTransport<T> {
     const NAME: &'static str = "mpi-ws";
     const IDLE_BACKOFF_NS: u64 = IDLE_BACKOFF_NS;
+
+    fn init(&mut self, _comm: &mut C, cx: &mut Cx) {
+        self.crash = cx.recovery.active;
+    }
 
     fn on_enter_working(&mut self) {
         self.since_poll = 0;
@@ -151,6 +212,7 @@ impl<T: Item, C: Comm<T>> StealTransport<T, C> for MpiTransport {
                 // outstanding, so `pending_responses` is unchanged either
                 // way (we abandon `victim`'s response by returning).
                 self.work_recv += 1;
+                self.crash_ack_work(comm, m.src, m.meta[0], cx);
                 stack.push_all(&m.payload);
                 cx.res.steals_ok += 1;
                 cx.res.chunks_stolen += (m.payload.len() / stack.k.max(1)) as u64;
@@ -201,6 +263,27 @@ impl<T: Item, C: Comm<T>> StealTransport<T, C> for MpiTransport {
     }
 
     fn absorb_pending(&mut self, comm: &mut C, stack: &mut DfsStack<T>, cx: &mut Cx) -> bool {
+        if self.crash {
+            // Crash mode: drain every queued WORK unconditionally — a
+            // duplicated REQ can draw a second grant no `pending_responses`
+            // count ever armed, and a consumed (+ ACKed) duplicate is how
+            // the donor's lineage entry closes.
+            let mut got = false;
+            while let Some(m) = comm.try_recv(Some(TAG_WORK)) {
+                self.pending_responses = self.pending_responses.saturating_sub(1);
+                self.work_recv += 1;
+                self.crash_ack_work(comm, m.src, m.meta[0], cx);
+                stack.push_all(&m.payload);
+                cx.res.steals_ok += 1;
+                cx.res.chunks_stolen += (m.payload.len() / stack.k.max(1)) as u64;
+                cx.log.steal_ok(m.src, 1, comm.now());
+                got = true;
+            }
+            while comm.try_recv(Some(TAG_NOWORK)).is_some() {
+                self.pending_responses = self.pending_responses.saturating_sub(1);
+            }
+            return got;
+        }
         // Drain responses from victims we previously timed out on. A late
         // WORK grant is still work in hand — and its consumption is required
         // for the ring's sent/recv balance.
@@ -226,6 +309,14 @@ impl<T: Item, C: Comm<T>> StealTransport<T, C> for MpiTransport {
 
     fn ring_counts(&self) -> (i64, i64) {
         (self.work_sent, self.work_recv)
+    }
+
+    fn deathbed(&mut self, _comm: &mut C, stack: &mut DfsStack<T>, _cx: &mut Cx) {
+        // Fold every unacknowledged grant's payload copy back into the local
+        // deque: it rides the spill, so even if both the WORK message and
+        // its thief are gone the nodes survive. Unanswered requests in the
+        // mailbox die with us — their senders re-probe or time out.
+        self.lineage.drain_into(stack);
     }
 
     fn finish(&mut self, comm: &mut C, stack: &mut DfsStack<T>, _cx: &mut Cx) {

@@ -19,10 +19,9 @@ use pgas::comm::Item;
 use pgas::Comm;
 
 use crate::probe::Xorshift;
-use crate::report::ThreadResult;
+use crate::recovery::{Lineage, TAG_ACK};
 use crate::sched::{Cx, StealTransport};
 use crate::stack::DfsStack;
-use crate::trace::TraceLog;
 
 /// Pushed chunk of work.
 pub const TAG_PUSH: i64 = 10;
@@ -32,8 +31,12 @@ const IDLE_BACKOFF_NS: u64 = 2_000;
 
 /// Randomized work pushing as a [`StealTransport`]: surplus is *sent* by
 /// the working thread to a uniformly random peer; idle threads only absorb.
+///
+/// Under a crash-fault plan every push is lineage-tracked exactly like an
+/// mpi-ws grant (`docs/faults.md`): the receiver ACKs after marking itself
+/// working, and unacknowledged pushes are re-injected by the sender.
 #[derive(Clone, Debug)]
-pub struct PushTransport {
+pub struct PushTransport<T> {
     me: usize,
     n: usize,
     rng: Xorshift,
@@ -42,12 +45,16 @@ pub struct PushTransport {
     sent: i64,
     /// Cumulative PUSH messages received (for the termination token).
     recv: i64,
+    /// Sender-side push registry (crash mode only; empty otherwise).
+    lineage: Lineage<T>,
+    /// Whether the run's fault plan has a crash class active.
+    crash: bool,
 }
 
-impl PushTransport {
+impl<T: Item> PushTransport<T> {
     /// A pushing transport for thread `me` of `n`, with its own push-target
     /// random stream derived from `seed`.
-    pub fn new(me: usize, n: usize, seed: u64) -> PushTransport {
+    pub fn new(me: usize, n: usize, seed: u64) -> PushTransport<T> {
         PushTransport {
             me,
             n,
@@ -55,14 +62,59 @@ impl PushTransport {
             since_poll: 0,
             sent: 0,
             recv: 0,
+            lineage: Lineage::new(),
+            crash: false,
         }
+    }
+
+    /// Crash mode: close acknowledged pushes and re-inject overdue ones.
+    fn crash_lineage_service<C: Comm<T>>(
+        &mut self,
+        comm: &mut C,
+        stack: &mut DfsStack<T>,
+        cx: &mut Cx,
+    ) {
+        if !self.crash {
+            return;
+        }
+        while let Some(m) = comm.try_recv(Some(TAG_ACK)) {
+            self.lineage.ack(comm, m.meta[0] as u64);
+        }
+        let items = self.lineage.reinject_due(comm, stack, &mut cx.recovery);
+        if items > 0 {
+            cx.res.recovered_nodes += items;
+            let now = comm.now();
+            cx.log.reinject(items, now);
+        }
+    }
+
+    /// Pull every pushed chunk out of the mailbox onto the stack; returns
+    /// how many chunks arrived. In crash mode each chunk is acknowledged
+    /// after the working marker is published (working-before-ACK).
+    fn absorb<C: Comm<T>>(&mut self, comm: &mut C, stack: &mut DfsStack<T>, cx: &mut Cx) -> i64 {
+        let mut got = 0i64;
+        while let Some(m) = comm.try_recv(Some(TAG_PUSH)) {
+            if self.crash {
+                cx.recovery.publish_working(comm);
+                comm.send(m.src, TAG_ACK, [m.meta[0], 0, 0, 0], &[]);
+            }
+            cx.log.steal_ok(m.src, 1, comm.now());
+            stack.push_all(&m.payload);
+            got += 1;
+            cx.res.chunks_stolen += 1; // "received" chunks, for uniform reporting
+        }
+        got
     }
 }
 
-impl<T: Item, C: Comm<T>> StealTransport<T, C> for PushTransport {
+impl<T: Item, C: Comm<T>> StealTransport<T, C> for PushTransport<T> {
     const NAME: &'static str = "push-random";
     const STEALS: bool = false;
     const IDLE_BACKOFF_NS: u64 = IDLE_BACKOFF_NS;
+
+    fn init(&mut self, _comm: &mut C, cx: &mut Cx) {
+        self.crash = cx.recovery.active;
+    }
 
     fn on_enter_working(&mut self) {
         self.since_poll = 0;
@@ -72,7 +124,9 @@ impl<T: Item, C: Comm<T>> StealTransport<T, C> for PushTransport {
         self.since_poll += 1;
         if self.since_poll >= cx.cfg.poll_interval {
             self.since_poll = 0;
-            self.recv += absorb(comm, stack, &mut cx.res, &mut cx.log);
+            let got = self.absorb(comm, stack, cx);
+            self.recv += got;
+            self.crash_lineage_service(comm, stack, cx);
         }
     }
 
@@ -86,16 +140,33 @@ impl<T: Item, C: Comm<T>> StealTransport<T, C> for PushTransport {
         if target >= self.me {
             target += 1;
         }
+        if self.crash && cx.recovery.is_dead(target) {
+            // Never push at a confirmed-dead rank (the chunk would orphan
+            // until the re-injection timeout); keep the nodes and retry the
+            // next time the release condition holds. The rng advanced, so
+            // the next draw targets someone else.
+            return false;
+        }
         let chunk = stack.take_bottom_chunk();
-        comm.send(target, TAG_PUSH, [0; 4], &chunk);
+        let meta = if self.crash {
+            let id = self.lineage.open(comm, target, &chunk);
+            [id as i64, 0, 0, 0]
+        } else {
+            [0; 4]
+        };
+        comm.send(target, TAG_PUSH, meta, &chunk);
         self.sent += 1;
         cx.res.releases += 1;
         cx.log.release(comm.now());
         true
     }
 
+    fn idle_service(&mut self, comm: &mut C, stack: &mut DfsStack<T>, cx: &mut Cx) {
+        self.crash_lineage_service(comm, stack, cx);
+    }
+
     fn absorb_pending(&mut self, comm: &mut C, stack: &mut DfsStack<T>, cx: &mut Cx) -> bool {
-        let got = absorb(comm, stack, &mut cx.res, &mut cx.log);
+        let got = self.absorb(comm, stack, cx);
         self.recv += got;
         got > 0
     }
@@ -104,29 +175,12 @@ impl<T: Item, C: Comm<T>> StealTransport<T, C> for PushTransport {
         (self.sent, self.recv)
     }
 
+    fn deathbed(&mut self, _comm: &mut C, stack: &mut DfsStack<T>, _cx: &mut Cx) {
+        // Unacknowledged pushes ride the spill (see MpiTransport::deathbed).
+        self.lineage.drain_into(stack);
+    }
+
     fn finish(&mut self, comm: &mut C, _stack: &mut DfsStack<T>, _cx: &mut Cx) {
         mpisim::drain_mailbox(comm);
     }
-}
-
-/// Pull every pushed chunk out of the mailbox onto the stack; returns how
-/// many chunks arrived.
-fn absorb<T, C>(
-    comm: &mut C,
-    stack: &mut DfsStack<T>,
-    res: &mut ThreadResult,
-    log: &mut TraceLog,
-) -> i64
-where
-    T: Item,
-    C: Comm<T>,
-{
-    let mut got = 0i64;
-    while let Some(m) = comm.try_recv(Some(TAG_PUSH)) {
-        log.steal_ok(m.src, 1, comm.now());
-        stack.push_all(&m.payload);
-        got += 1;
-        res.chunks_stolen += 1; // "received" chunks, for uniform reporting
-    }
-    got
 }

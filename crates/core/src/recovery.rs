@@ -1,0 +1,543 @@
+//! Crash recovery: chunk lineage, lease-based death detection, orphan
+//! adoption, and crash-mode quiescence (docs/faults.md "Crash faults and
+//! recovery").
+//!
+//! When the active [`pgas::FaultPlan`] enables a crash class (message loss,
+//! message duplication, rank death — [`pgas::FaultPlan::crash_active`]), the
+//! paper's termination detectors are unsound: the token ring's sent/recv
+//! counts never balance under loss, and the barriers would wait forever for
+//! a dead rank. The scheduler then routes every detector through the
+//! crash-mode discovery loops in [`crate::sched::termination`], which drive
+//! the machinery in this module:
+//!
+//! - **Leases/heartbeats**: every live rank periodically writes `now` into
+//!   its [`crate::vars::HEARTBEAT`] cell (piggybacked on existing poll and
+//!   idle iterations). A rank whose heartbeat goes stale beyond the lease is
+//!   *suspected*; suspicion is confirmed against its [`crate::vars::DEAD`]
+//!   cell, which the dying rank publishes as its very last write — so a slow
+//!   rank is never falsely declared dead.
+//! - **Spill and adoption**: a dying rank folds its shared region and open
+//!   grants back into its local deque, appends everything to its area as a
+//!   *spill*, publishes `(SPILL_OFF, SPILL_LEN)`, and only then raises
+//!   `DEAD`. Survivors race a CAS on the [`crate::vars::ADOPT`] ticket;
+//!   exactly one wins and re-injects the orphaned subtrees.
+//! - **Lineage**: message transports record every in-flight grant — donor,
+//!   thief, node count, subtree fingerprint, payload copy — in a
+//!   [`Lineage`] registry. The thief acknowledges receipt (after marking
+//!   itself working); a grant that is never acknowledged (lost WORK message,
+//!   lost ACK, or dead thief) is re-injected by the donor after a timeout,
+//!   trading bounded duplication for guaranteed at-least-once exploration.
+//! - **Quiescence**: rank 0 runs a Dijkstra-style double scan over the
+//!   `Q_OUT`/`LIN_OUT`/`EPOCH` cells. Every acquisition of work marks the
+//!   acquirer working (or holds a `LIN_OUT` guard) *before* the source's
+//!   outgoing marker clears, so two consecutive all-quiet scans with
+//!   identical epoch vectors prove no work exists or is in flight.
+//!
+//! Correctness under crash faults is **conservation with multiplicity**
+//! (PAPERS.md, arxiv 2008.04424): UTS node exploration is idempotent and
+//! children are a pure function of the parent, so re-executing a recovered
+//! subtree is safe. Every node is explored at least once (nothing is ever
+//! dropped without a surviving copy: spill, lineage payload, or the
+//! original) and at most a small number of times (duplication only on the
+//! rare ACK-loss / re-injection races, counted exactly by the fingerprint
+//! multiset in [`crate::report::RunReport`]).
+
+use pgas::comm::Item;
+use pgas::{Comm, FaultPlan};
+
+use crate::stack::DfsStack;
+use crate::vars;
+
+/// Receipt acknowledgement for a lineage-tracked grant (message
+/// transports). `meta[0]` carries the grant id. Crash mode only.
+pub const TAG_ACK: i64 = 4;
+
+/// Interval between heartbeat writes (virtual ns).
+pub const HEARTBEAT_INTERVAL_NS: u64 = 40_000;
+/// A heartbeat older than this marks its rank as suspected dead.
+pub const LEASE_NS: u64 = 150_000;
+/// Interval between death-detection scans of other ranks' heartbeats.
+pub const SCAN_INTERVAL_NS: u64 = 60_000;
+/// Interval between rank 0's quiescence scans.
+pub const QUIESCENCE_INTERVAL_NS: u64 = 40_000;
+/// A grant unacknowledged for this long is re-injected by its donor.
+pub const REINJECT_TIMEOUT_NS: u64 = 400_000;
+/// Idle backoff between crash-mode discovery iterations.
+pub const CRASH_IDLE_BACKOFF_NS: u64 = 3_000;
+
+/// Cheap mixing hash for lineage fingerprints (registry metadata only).
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Per-rank crash-recovery state, carried in [`crate::sched::Cx`]. Inert
+/// (every method an early-return, zero comm operations) unless the run's
+/// fault plan has a crash class active — which is what keeps fault-free and
+/// delay-only-faulted runs bit-identical to their pre-crash-layer results.
+#[derive(Clone, Debug)]
+pub struct Recovery {
+    /// Whether crash-mode recovery is running (plan has a crash class).
+    pub active: bool,
+    me: usize,
+    n: usize,
+    /// This rank's scheduled death, if the plan kills it.
+    kill_at: Option<u64>,
+    /// Confirmed-dead ranks (stale lease + DEAD flag observed).
+    dead: Vec<bool>,
+    /// Dead ranks whose spill this rank has already resolved (adopted,
+    /// lost the adoption race, or found empty).
+    adopt_done: Vec<bool>,
+    /// Current published `Q_OUT` state (true = out of work).
+    out_published: bool,
+    /// Local mirror of our `EPOCH` cell.
+    epoch: i64,
+    next_heartbeat: u64,
+    next_scan: u64,
+    next_quiesce: u64,
+    /// Rank 0 only: epoch vector of the previous all-quiet scan.
+    prev_epochs: Option<Vec<i64>>,
+}
+
+impl Recovery {
+    /// Recovery state for rank `me` of `n` under `faults`. Inactive (all
+    /// methods no-ops) unless the plan has a crash class enabled.
+    pub fn new(me: usize, n: usize, faults: &FaultPlan) -> Recovery {
+        let active = faults.crash_active();
+        Recovery {
+            active,
+            me,
+            n,
+            kill_at: if active { faults.kill_time(me, n) } else { None },
+            dead: vec![false; if active { n } else { 0 }],
+            adopt_done: vec![false; if active { n } else { 0 }],
+            out_published: false,
+            epoch: 0,
+            next_heartbeat: 0,
+            next_scan: 0,
+            next_quiesce: 0,
+            prev_epochs: None,
+        }
+    }
+
+    /// Inactive recovery (for contexts built outside a run).
+    pub fn inactive() -> Recovery {
+        Recovery::new(0, 1, &FaultPlan::none())
+    }
+
+    /// Is `rank` confirmed dead?
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.active && self.dead[rank]
+    }
+
+    /// Has this rank's scheduled death arrived?
+    pub fn kill_due(&self, now: u64) -> bool {
+        matches!(self.kill_at, Some(t) if now >= t)
+    }
+
+    /// Mark this rank working: clear `Q_OUT` and bump the epoch. Must run
+    /// *before* the work source's outgoing marker clears (ACK send, guard
+    /// drop) — that ordering is what makes the double scan sound. Idempotent
+    /// while already marked working.
+    pub fn publish_working<T: Item, C: Comm<T>>(&mut self, comm: &mut C) {
+        if !self.active || !self.out_published {
+            return;
+        }
+        comm.put(self.me, vars::Q_OUT, 0);
+        self.epoch += 1;
+        comm.put(self.me, vars::EPOCH, self.epoch);
+        self.out_published = false;
+    }
+
+    /// Mark this rank out of work (idempotent).
+    pub fn publish_out<T: Item, C: Comm<T>>(&mut self, comm: &mut C) {
+        if !self.active || self.out_published {
+            return;
+        }
+        comm.put(self.me, vars::Q_OUT, 1);
+        self.out_published = true;
+    }
+
+    /// Open an acquisition guard: quiescence cannot be declared while any
+    /// rank's `LIN_OUT` is nonzero. Pull-transport thieves wrap each steal
+    /// attempt in a guard; the guard must only drop after
+    /// [`Recovery::publish_working`] on success.
+    pub fn guard_begin<T: Item, C: Comm<T>>(&mut self, comm: &mut C) {
+        if self.active {
+            comm.add(self.me, vars::LIN_OUT, 1);
+        }
+    }
+
+    /// Close an acquisition guard.
+    pub fn guard_end<T: Item, C: Comm<T>>(&mut self, comm: &mut C) {
+        if self.active {
+            comm.add(self.me, vars::LIN_OUT, -1);
+        }
+    }
+
+    /// Prove liveness: write `now` into our heartbeat cell (throttled).
+    pub fn heartbeat<T: Item, C: Comm<T>>(&mut self, comm: &mut C) {
+        if !self.active {
+            return;
+        }
+        let now = comm.now();
+        if now >= self.next_heartbeat {
+            comm.put(self.me, vars::HEARTBEAT, now as i64);
+            self.next_heartbeat = now + HEARTBEAT_INTERVAL_NS;
+        }
+    }
+
+    /// Death-detection scan (throttled): a rank whose heartbeat is staler
+    /// than the lease *and* whose `DEAD` flag is raised is confirmed dead.
+    /// Returns a newly confirmed dead rank, if any.
+    pub fn scan<T: Item, C: Comm<T>>(&mut self, comm: &mut C) -> Option<usize> {
+        if !self.active {
+            return None;
+        }
+        let now = comm.now();
+        if now < self.next_scan {
+            return None;
+        }
+        self.next_scan = now + SCAN_INTERVAL_NS;
+        for r in 0..self.n {
+            if r == self.me || self.dead[r] {
+                continue;
+            }
+            let hb = comm.get(r, vars::HEARTBEAT) as u64;
+            if comm.now().saturating_sub(hb) > LEASE_NS && comm.get(r, vars::DEAD) == 1 {
+                self.dead[r] = true;
+                return Some(r);
+            }
+        }
+        None
+    }
+
+    /// Try to adopt a confirmed-dead rank's spilled work. Exactly one
+    /// survivor wins the `ADOPT` CAS, copies the spill onto its own stack,
+    /// marks itself working, and clears the dead rank's in-flight marker.
+    /// Returns `(dead_rank, items_recovered)` on a successful adoption.
+    pub fn try_adopt<T: Item, C: Comm<T>>(
+        &mut self,
+        comm: &mut C,
+        stack: &mut DfsStack<T>,
+    ) -> Option<(usize, u64)> {
+        if !self.active {
+            return None;
+        }
+        for r in 0..self.n {
+            if !self.dead[r] || self.adopt_done[r] {
+                continue;
+            }
+            let slen = comm.get(r, vars::SPILL_LEN);
+            if slen <= 0 {
+                self.adopt_done[r] = true;
+                continue;
+            }
+            self.guard_begin(comm);
+            let won = comm.cas(r, vars::ADOPT, 0, 1 + self.me as i64) == 0;
+            if won {
+                let off = comm.get(r, vars::SPILL_OFF) as usize;
+                let mut buf = Vec::with_capacity(slen as usize);
+                comm.area_read(r, off, slen as usize, &mut buf);
+                stack.push_all(&buf);
+                // Working-before-unguard: the spill is accounted to us from
+                // here on, never invisible to a quiescence scan.
+                self.publish_working(comm);
+                comm.put(r, vars::LIN_OUT, 0);
+            }
+            self.guard_end(comm);
+            self.adopt_done[r] = true;
+            if won {
+                return Some((r, slen as u64));
+            }
+        }
+        None
+    }
+
+    /// Rank 0's quiescence check (throttled): one scan reads every rank's
+    /// `(Q_OUT, LIN_OUT, EPOCH)`; two consecutive all-quiet scans with
+    /// identical epoch vectors prove global termination, which rank 0 then
+    /// broadcasts through the `TERM` cells. Dead ranks read as permanently
+    /// quiet (their deathbed leaves `LIN_OUT = 1` until the spill is
+    /// adopted, so orphaned work blocks termination).
+    pub fn quiescence_check<T: Item, C: Comm<T>>(&mut self, comm: &mut C) -> bool {
+        if !self.active {
+            return false;
+        }
+        debug_assert_eq!(self.me, 0, "only rank 0 runs the quiescence scan");
+        let now = comm.now();
+        if now < self.next_quiesce {
+            return false;
+        }
+        self.next_quiesce = now + QUIESCENCE_INTERVAL_NS;
+        let mut epochs = vec![0i64; self.n];
+        for (r, e) in epochs.iter_mut().enumerate() {
+            if comm.get(r, vars::Q_OUT) != 1 || comm.get(r, vars::LIN_OUT) != 0 {
+                self.prev_epochs = None;
+                return false;
+            }
+            *e = comm.get(r, vars::EPOCH);
+        }
+        if self.prev_epochs.as_deref() == Some(&epochs) {
+            for r in 1..self.n {
+                comm.put(r, vars::TERM, 1);
+            }
+            return true;
+        }
+        self.prev_epochs = Some(epochs);
+        false
+    }
+
+    /// Non-root termination check: has rank 0 broadcast quiescence?
+    pub fn term_seen<T: Item, C: Comm<T>>(&mut self, comm: &mut C) -> bool {
+        self.active && comm.get(self.me, vars::TERM) == 1
+    }
+
+    /// The deathbed's final act, after the transport hook folded every
+    /// shared chunk and open grant back into the local deque: append the
+    /// whole deque to our area as the spill, publish its coordinates, and
+    /// raise `DEAD` as the very last write. `LIN_OUT` is left at 1 while the
+    /// spill holds work, so quiescence cannot be declared before adoption.
+    /// Returns the number of spilled items.
+    pub fn spill_and_die<T: Item, C: Comm<T>>(
+        &mut self,
+        comm: &mut C,
+        stack: &mut DfsStack<T>,
+    ) -> u64 {
+        let me = self.me;
+        let items = stack.drain_local();
+        let off = comm.area_len(me);
+        if !items.is_empty() {
+            comm.area_write(me, off, &items);
+        }
+        comm.put(me, vars::SPILL_OFF, off as i64);
+        comm.put(me, vars::SPILL_LEN, items.len() as i64);
+        comm.put(me, vars::Q_OUT, 1);
+        comm.put(me, vars::LIN_OUT, i64::from(!items.is_empty()));
+        comm.put(me, vars::DEAD, 1);
+        self.out_published = true;
+        items.len() as u64
+    }
+}
+
+/// One in-flight grant tracked by a donor-side [`Lineage`] registry.
+#[derive(Clone, Debug)]
+pub struct Grant<T> {
+    /// Grant id (carried in the WORK/PUSH message's `meta[0]` and echoed by
+    /// the ACK).
+    pub id: u64,
+    /// Receiving rank.
+    pub thief: usize,
+    /// Items in the grant.
+    pub items: u64,
+    /// Fingerprint of (donor, thief, id, size) — registry metadata for
+    /// traces and diagnostics.
+    pub fingerprint: u64,
+    /// Virtual send time (re-injection deadline base).
+    pub sent_at: u64,
+    payload: Vec<T>,
+}
+
+/// Donor-side registry of in-flight grants for the message transports
+/// (crash mode only). Holds a payload copy per grant so an unacknowledged
+/// chunk can be re-injected; publishes its open-entry count through the
+/// donor's `LIN_OUT` cell so quiescence waits for every grant to settle.
+#[derive(Clone, Debug, Default)]
+pub struct Lineage<T> {
+    next_id: u64,
+    open: Vec<Grant<T>>,
+}
+
+impl<T: Item> Lineage<T> {
+    /// Empty registry.
+    pub fn new() -> Lineage<T> {
+        Lineage {
+            next_id: 0,
+            open: Vec::new(),
+        }
+    }
+
+    /// Open grants.
+    pub fn len(&self) -> usize {
+        self.open.len()
+    }
+
+    /// No grants outstanding?
+    pub fn is_empty(&self) -> bool {
+        self.open.is_empty()
+    }
+
+    /// Record a grant about to be sent to `thief` and raise the donor's
+    /// in-flight marker. Must be called *before* the send so no scan can
+    /// observe the message in flight with a clear marker. Returns the grant
+    /// id to stamp into the message's `meta[0]`.
+    pub fn open<C: Comm<T>>(&mut self, comm: &mut C, thief: usize, payload: &[T]) -> u64 {
+        self.next_id += 1;
+        let id = self.next_id;
+        let me = comm.my_id();
+        comm.add(me, vars::LIN_OUT, 1);
+        self.open.push(Grant {
+            id,
+            thief,
+            items: payload.len() as u64,
+            fingerprint: mix(
+                (me as u64) << 48 | (thief as u64) << 32 | id << 8 | payload.len() as u64 & 0xFF,
+            ),
+            sent_at: comm.now(),
+            payload: payload.to_vec(),
+        });
+        id
+    }
+
+    /// Close the grant `id` on ACK receipt. Unknown ids (duplicated or
+    /// already re-injected grants) are ignored.
+    pub fn ack<C: Comm<T>>(&mut self, comm: &mut C, id: u64) -> bool {
+        if let Some(pos) = self.open.iter().position(|g| g.id == id) {
+            self.open.remove(pos);
+            comm.add(comm.my_id(), vars::LIN_OUT, -1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Re-inject grants whose ACK is overdue or whose thief is confirmed
+    /// dead: the payload copy goes back onto the donor's own stack (marking
+    /// the donor working before the marker drops). Returns the re-injected
+    /// item count (0 when nothing was due).
+    pub fn reinject_due<C: Comm<T>>(
+        &mut self,
+        comm: &mut C,
+        stack: &mut DfsStack<T>,
+        rec: &mut Recovery,
+    ) -> u64 {
+        if self.open.is_empty() {
+            return 0;
+        }
+        let now = comm.now();
+        let mut recovered = 0u64;
+        let mut i = 0;
+        while i < self.open.len() {
+            let due = now.saturating_sub(self.open[i].sent_at) >= REINJECT_TIMEOUT_NS
+                || rec.is_dead(self.open[i].thief);
+            if due {
+                let g = self.open.remove(i);
+                stack.push_all(&g.payload);
+                rec.publish_working(comm);
+                comm.add(comm.my_id(), vars::LIN_OUT, -1);
+                recovered += g.items;
+            } else {
+                i += 1;
+            }
+        }
+        recovered
+    }
+
+    /// Deathbed: fold every open payload back into the local deque (it will
+    /// ride the spill). No marker updates — the deathbed overwrites
+    /// `LIN_OUT` wholesale. Returns the folded item count.
+    pub fn drain_into(&mut self, stack: &mut DfsStack<T>) -> u64 {
+        let mut items = 0u64;
+        for g in self.open.drain(..) {
+            stack.push_all(&g.payload);
+            items += g.items;
+        }
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgas::sim::SimCluster;
+    use pgas::MachineModel;
+
+    /// End-to-end spill/lease/adopt over a 2-rank sim cluster: rank 1 dies
+    /// holding three items; rank 0 confirms the death via the stale lease +
+    /// DEAD flag, wins the adoption CAS, and recovers all three items. The
+    /// quiescence scan refuses to declare while the spill is orphaned and
+    /// accepts after adoption.
+    #[test]
+    fn spill_is_confirmed_and_adopted_exactly_once() {
+        let plan = FaultPlan::crashy(7);
+        let cluster: SimCluster<u64> =
+            SimCluster::new(MachineModel::smp(), 2, crate::vars::space_config());
+        let results = cluster
+            .run(|comm| {
+                let me = comm.my_id();
+                let mut rec = Recovery::new(me, 2, &plan);
+                assert!(rec.active);
+                let mut stack: DfsStack<u64> = DfsStack::new(2);
+                if me == 1 {
+                    stack.push_all(&[10, 11, 12]);
+                    let spilled = rec.spill_and_die(comm, &mut stack);
+                    [spilled, 0]
+                } else {
+                    rec.publish_out(comm);
+                    // Stale the victim's lease, then confirm + adopt.
+                    comm.advance_idle(2 * LEASE_NS);
+                    let mut dead = None;
+                    let mut dog = 0;
+                    while dead.is_none() {
+                        dead = rec.scan(comm);
+                        comm.advance_idle(SCAN_INTERVAL_NS);
+                        dog += 1;
+                        assert!(dog < 100, "death never confirmed");
+                    }
+                    assert_eq!(dead, Some(1));
+                    assert!(rec.is_dead(1));
+                    // Orphaned spill blocks quiescence (LIN_OUT = 1).
+                    assert!(!rec.quiescence_check(comm));
+                    let (rank, items) = rec.try_adopt(comm, &mut stack).expect("adoption");
+                    assert_eq!((rank, items), (1, 3));
+                    // Second attempt finds nothing left to adopt.
+                    assert!(rec.try_adopt(comm, &mut stack).is_none());
+                    let got = stack.drain_local();
+                    assert_eq!(got, vec![10, 11, 12]);
+                    // All quiet now: double scan declares.
+                    rec.publish_out(comm);
+                    comm.advance_idle(QUIESCENCE_INTERVAL_NS);
+                    assert!(!rec.quiescence_check(comm), "first quiet scan arms");
+                    comm.advance_idle(QUIESCENCE_INTERVAL_NS);
+                    assert!(rec.quiescence_check(comm), "second quiet scan declares");
+                    [got.len() as u64, 1]
+                }
+            })
+            .results;
+        assert_eq!(results[0], [3, 1]);
+        assert_eq!(results[1], [3, 0]);
+    }
+
+    /// Lineage: an unacknowledged grant re-injects after the timeout; an
+    /// acknowledged one never does; duplicate ACKs are ignored.
+    #[test]
+    fn lineage_reinjects_unacked_grants_once() {
+        let plan = FaultPlan::crashy(3);
+        let cluster: SimCluster<u64> =
+            SimCluster::new(MachineModel::smp(), 2, crate::vars::space_config());
+        let results = cluster
+            .run(|comm| {
+                let me = comm.my_id();
+                if me != 0 {
+                    return [0, 0];
+                }
+                let mut rec = Recovery::new(0, 2, &plan);
+                let mut stack: DfsStack<u64> = DfsStack::new(2);
+                let mut lin: Lineage<u64> = Lineage::new();
+                let acked = lin.open(comm, 1, &[1, 2]);
+                let lost = lin.open(comm, 1, &[3, 4, 5]);
+                assert_eq!(lin.len(), 2);
+                assert!(lin.ack(comm, acked));
+                assert!(!lin.ack(comm, acked), "duplicate ACK ignored");
+                assert_eq!(lin.reinject_due(comm, &mut stack, &mut rec), 0);
+                comm.advance_idle(REINJECT_TIMEOUT_NS + 1);
+                assert_eq!(lin.reinject_due(comm, &mut stack, &mut rec), 3);
+                assert!(lin.is_empty());
+                assert!(!lin.ack(comm, lost), "re-injected grant is closed");
+                [stack.local_len() as u64, comm.get(0, vars::LIN_OUT) as u64]
+            })
+            .results;
+        assert_eq!(results[0], [3, 0], "only the lost grant re-injected; marker clear");
+    }
+}

@@ -48,8 +48,18 @@ pub struct ThreadResult {
     pub events: Vec<Event>,
     /// Global node total computed *in-band* by the end-of-run tree
     /// reduction (every thread must agree, and it must equal the host-side
-    /// sum — the engine asserts both).
+    /// sum — the engine asserts both). Zero on crash-fault runs, which skip
+    /// the collective (a dead rank cannot join it).
     pub reduced_total: u64,
+    /// Nodes recovered through crash-recovery paths: adopted spills and
+    /// re-injected lineage grants (always 0 without crash faults).
+    pub recovered_nodes: u64,
+    /// Whether this rank's scheduled crash fired (it spilled and exited).
+    pub died: bool,
+    /// Fingerprints of every node explored, in order — recorded only on
+    /// crash-fault runs, where the engine folds them into the
+    /// conservation-with-multiplicity counters of [`RunReport`].
+    pub explored: Vec<u64>,
 }
 
 impl ThreadResult {
@@ -75,6 +85,9 @@ impl ThreadResult {
         self.comm.merge(&o.comm);
         self.events.extend(o.events.iter().copied());
         self.reduced_total = self.reduced_total.max(o.reduced_total);
+        self.recovered_nodes += o.recovered_nodes;
+        self.died |= o.died;
+        self.explored.extend(o.explored.iter().copied());
     }
 }
 
@@ -93,6 +106,18 @@ pub struct RunReport {
     pub total_nodes: u64,
     /// Makespan in ns: virtual on sim, wall-clock on native.
     pub makespan_ns: u64,
+    /// Nodes recovered through crash-recovery paths (adopted spills plus
+    /// re-injected grants). Always 0 without crash faults.
+    pub recovered_nodes: u64,
+    /// Nodes explored more than once (sum over fingerprints of
+    /// `multiplicity - 1`): the duplication cost of at-least-once recovery.
+    /// Always 0 without crash faults.
+    pub duplicate_nodes: u64,
+    /// Largest per-node exploration multiplicity observed (1 = every node
+    /// explored exactly once; always 1 on crash-free runs).
+    pub max_multiplicity: u64,
+    /// Ranks whose scheduled crash fired during the run.
+    pub deaths: usize,
     /// Per-thread details.
     pub per_thread: Vec<ThreadResult>,
 }
@@ -222,6 +247,10 @@ mod tests {
             chunk_size: 8,
             total_nodes: nodes,
             makespan_ns: makespan,
+            recovered_nodes: 0,
+            duplicate_nodes: 0,
+            max_multiplicity: 1,
+            deaths: 0,
             per_thread: vec![ThreadResult::default(); threads],
         }
     }

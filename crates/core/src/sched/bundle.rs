@@ -142,7 +142,18 @@ impl RunConfig {
     }
 }
 
+/// Virtual-time steal timeout auto-armed under crash-fault plans when the
+/// config leaves [`RunConfig::steal_timeout_ns`] unset: a thief waiting on a
+/// rank that died mid-request must eventually retract and re-probe, so the
+/// paper's wait-forever default would hang.
+pub const CRASH_STEAL_TIMEOUT_NS: u64 = 50_000;
+
 /// Resolve `cfg`'s policy bundle and run the generic driver with it.
+///
+/// Under a crash-fault plan ([`pgas::FaultPlan::crash_active`]) an unset
+/// [`RunConfig::steal_timeout_ns`] is auto-armed to
+/// [`CRASH_STEAL_TIMEOUT_NS`] so no thief waits forever on a dead victim;
+/// fault-free configs are passed through untouched.
 ///
 /// Panics on a bundle whose termination detector cannot run over its
 /// transport: the barriers need the shared `work_avail`/barrier cells the
@@ -153,6 +164,11 @@ where
     G: TaskGen,
     C: Comm<G::Task>,
 {
+    let mut armed = *cfg;
+    if armed.faults.crash_active() && armed.steal_timeout_ns.is_none() {
+        armed.steal_timeout_ns = Some(CRASH_STEAL_TIMEOUT_NS);
+    }
+    let cfg = &armed;
     let spec = cfg.bundle();
     let me = comm.my_id();
     let n = comm.n_threads();

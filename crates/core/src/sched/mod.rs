@@ -40,6 +40,7 @@ use pgas::Comm;
 
 use crate::config::RunConfig;
 use crate::probe::VictimSelector;
+use crate::recovery::Recovery;
 use crate::report::ThreadResult;
 use crate::stack::DfsStack;
 use crate::state::{State, StateClock};
@@ -65,16 +66,21 @@ pub struct Cx<'a> {
     pub clock: StateClock,
     /// Event recorder (no-op unless [`RunConfig::trace`] is set).
     pub log: TraceLog,
+    /// Crash-recovery state (inert unless the fault plan has a crash class;
+    /// see [`crate::recovery`]).
+    pub recovery: Recovery,
 }
 
 impl<'a> Cx<'a> {
-    /// Fresh context starting in [`State::Working`] at time `now`.
+    /// Fresh context starting in [`State::Working`] at time `now`, with
+    /// inert crash recovery ([`drive`] arms it from the fault plan).
     pub fn new(cfg: &'a RunConfig, now: u64) -> Cx<'a> {
         Cx {
             cfg,
             res: ThreadResult::default(),
             clock: StateClock::new(now),
             log: TraceLog::new(cfg.trace),
+            recovery: Recovery::inactive(),
         }
     }
 
@@ -106,6 +112,9 @@ pub enum Discovery {
     GotWork,
     /// Global termination was detected; the worker is done.
     Terminated,
+    /// This rank's scheduled crash fired while it was searching: run the
+    /// deathbed spill and exit (crash-fault runs only).
+    Died,
 }
 
 /// Outcome of one steal attempt against one victim.
@@ -217,6 +226,13 @@ pub trait StealTransport<T: Item, C: Comm<T>> {
         (0, 0)
     }
 
+    /// This rank's scheduled crash arrived (crash-fault runs only): fold
+    /// every node the protocol still holds responsibility for — shared-region
+    /// chunks no thief has copied out, unacknowledged lineage grants — back
+    /// into the local deque, and withdraw from any in-flight request, so the
+    /// generic spill in [`drive`] publishes one complete snapshot.
+    fn deathbed(&mut self, _comm: &mut C, _stack: &mut DfsStack<T>, _cx: &mut Cx) {}
+
     /// Post-termination teardown (drain mailboxes, conservation asserts),
     /// before the state clock takes its final reading.
     fn finish(&mut self, _comm: &mut C, _stack: &mut DfsStack<T>, _cx: &mut Cx) {}
@@ -247,6 +263,8 @@ where
     let me = comm.my_id();
     let mut stack: DfsStack<G::Task> = DfsStack::new(cfg.chunk_size);
     let mut cx = Cx::new(cfg, comm.now());
+    cx.recovery = Recovery::new(me, comm.n_threads(), &cfg.faults);
+    let crash = cx.recovery.active;
     let mut scratch: Vec<G::Task> = Vec::new();
 
     transport.init(comm, &mut cx);
@@ -255,11 +273,19 @@ where
         stack.push(gen.root());
     }
 
+    let mut died = false;
     'outer: loop {
         // ------------------------------------------------- Working (Fig. 1)
         cx.enter(comm, State::Working);
         transport.on_enter_working();
         loop {
+            if crash {
+                if cx.recovery.kill_due(comm.now()) {
+                    died = true;
+                    break 'outer;
+                }
+                cx.recovery.heartbeat(comm);
+            }
             if stack.is_local_empty() {
                 if transport.refill(comm, &mut stack, &mut cx) {
                     continue;
@@ -268,6 +294,9 @@ where
             }
             let node = stack.pop().expect("nonempty local region");
             cx.res.nodes += 1;
+            if crash {
+                cx.res.explored.push(gen.fingerprint(&node));
+            }
             scratch.clear();
             gen.expand(&node, &mut scratch);
             stack.push_all(&scratch);
@@ -283,7 +312,23 @@ where
         match td.discover(comm, &mut stack, &mut transport, &mut victims, &mut cx) {
             Discovery::GotWork => continue 'outer,
             Discovery::Terminated => break 'outer,
+            Discovery::Died => {
+                died = true;
+                break 'outer;
+            }
         }
+    }
+
+    if died {
+        // Deathbed: the transport folds every chunk it is still responsible
+        // for into the local deque, then the spill publishes the snapshot
+        // (coordinates first, DEAD flag last) for a survivor to adopt.
+        transport.deathbed(comm, &mut stack, &mut cx);
+        let spilled = cx.recovery.spill_and_die(comm, &mut stack);
+        cx.res.died = true;
+        let now = comm.now();
+        cx.log.death(spilled, now);
+        return cx.into_result(comm);
     }
 
     transport.finish(comm, &mut stack, &mut cx);

@@ -25,11 +25,180 @@ use crate::barrier::{
     BarrierOutcome, CancelableBarrier, TerminationBarrier, BARRIER_BACKOFF_NS,
 };
 use crate::probe::VictimSelector;
+use crate::recovery::CRASH_IDLE_BACKOFF_NS;
 use crate::stack::DfsStack;
 use crate::state::State;
 use crate::watchdog::Watchdog;
 
 use super::{Cx, Discovery, StealOutcome, StealTransport};
+
+/// One iteration of the crash-mode recovery protocol an idle rank must run:
+/// heartbeat, death-detection scan, orphan adoption, and the quiescence
+/// check (rank 0 scans and broadcasts; everyone else watches its `TERM`
+/// cell). Returns a verdict when the iteration acquired work or proved
+/// termination.
+fn crash_tick<T, C, ST>(
+    comm: &mut C,
+    stack: &mut DfsStack<T>,
+    transport: &mut ST,
+    cx: &mut Cx,
+) -> Option<Discovery>
+where
+    T: Item,
+    C: Comm<T>,
+    ST: StealTransport<T, C>,
+{
+    cx.recovery.heartbeat(comm);
+    cx.recovery.scan(comm);
+    if let Some((dead, items)) = cx.recovery.try_adopt(comm, stack) {
+        cx.res.recovered_nodes += items;
+        let now = comm.now();
+        cx.log.adopt(dead, items, now);
+        transport.got_work(comm);
+        return Some(Discovery::GotWork);
+    }
+    let done = if comm.my_id() == 0 {
+        cx.recovery.quiescence_check(comm)
+    } else {
+        cx.recovery.term_seen(comm)
+    };
+    done.then_some(Discovery::Terminated)
+}
+
+/// Crash-mode work discovery for the probing detectors (§3.1 and §3.3.1
+/// both): the barriers are unusable with a rank missing, so the idle loop
+/// probes live victims for work — each steal wrapped in a `LIN_OUT` guard so
+/// quiescence can never slip between the victim's counter update and the
+/// thief's working marker — and interleaves the recovery protocol.
+fn discover_probing_crash<T, C, ST, VS>(
+    comm: &mut C,
+    stack: &mut DfsStack<T>,
+    transport: &mut ST,
+    victims: &mut VS,
+    cx: &mut Cx,
+) -> Discovery
+where
+    T: Item,
+    C: Comm<T>,
+    ST: StealTransport<T, C>,
+    VS: VictimSelector,
+{
+    cx.enter(comm, State::Searching);
+    cx.recovery.publish_out(comm);
+    let mut dog = Watchdog::new("crash-mode work discovery");
+    loop {
+        dog.tick();
+        if cx.recovery.kill_due(comm.now()) {
+            return Discovery::Died;
+        }
+        transport.idle_service(comm, stack, cx);
+        if transport.absorb_pending(comm, stack, cx) || !stack.is_local_empty() {
+            cx.recovery.publish_working(comm);
+            transport.got_work(comm);
+            return Discovery::GotWork;
+        }
+        for v in victims.cycle() {
+            if cx.recovery.is_dead(v) {
+                continue;
+            }
+            cx.res.probes += 1;
+            if transport.probe(comm, v) > 0 {
+                cx.enter(comm, State::Stealing);
+                cx.recovery.guard_begin(comm);
+                let outcome = transport.steal(comm, stack, v, cx);
+                if outcome == StealOutcome::Got {
+                    // Working-before-unguard (see crate::recovery).
+                    cx.recovery.publish_working(comm);
+                }
+                cx.recovery.guard_end(comm);
+                cx.enter(comm, State::Searching);
+                match outcome {
+                    StealOutcome::Got => {
+                        transport.got_work(comm);
+                        return Discovery::GotWork;
+                    }
+                    StealOutcome::TimedOut => transport.after_timeout(comm, cx),
+                    StealOutcome::Denied | StealOutcome::TermRaced => {}
+                }
+                dog.reset();
+            }
+            transport.idle_service(comm, stack, cx);
+        }
+        if let Some(v) = crash_tick(comm, stack, transport, cx) {
+            return v;
+        }
+        comm.advance_idle(CRASH_IDLE_BACKOFF_NS);
+    }
+}
+
+/// Crash-mode work discovery for the message transports: the counting token
+/// ring is unsound under loss/duplication (its transfer counts can never
+/// balance), so crash runs bypass the ring entirely. Stealing transports
+/// probe one live victim per iteration (the transport itself publishes the
+/// working marker and ACKs before any counter clears); the pushing transport
+/// parks, absorbing and acknowledging pushed chunks. Both interleave the
+/// recovery protocol.
+fn discover_message_crash<T, C, ST, VS>(
+    comm: &mut C,
+    stack: &mut DfsStack<T>,
+    transport: &mut ST,
+    victims: &mut VS,
+    cx: &mut Cx,
+) -> Discovery
+where
+    T: Item,
+    C: Comm<T>,
+    ST: StealTransport<T, C>,
+    VS: VictimSelector,
+{
+    cx.enter(comm, State::Searching);
+    cx.recovery.publish_out(comm);
+    let mut dog = Watchdog::new("crash-mode work discovery (message)");
+    let mut cycle = victims.cycle();
+    let mut next = 0usize;
+    loop {
+        dog.tick();
+        if cx.recovery.kill_due(comm.now()) {
+            return Discovery::Died;
+        }
+        transport.idle_service(comm, stack, cx);
+        if transport.absorb_pending(comm, stack, cx) || !stack.is_local_empty() {
+            cx.recovery.publish_working(comm);
+            transport.got_work(comm);
+            return Discovery::GotWork;
+        }
+        if ST::STEALS {
+            if next >= cycle.len() {
+                cycle = victims.cycle();
+                next = 0;
+            }
+            if !cycle.is_empty() {
+                let v = cycle[next];
+                next += 1;
+                if !cx.recovery.is_dead(v) {
+                    cx.res.probes += 1;
+                    cx.enter(comm, State::Stealing);
+                    let outcome = transport.steal(comm, stack, v, cx);
+                    cx.enter(comm, State::Searching);
+                    match outcome {
+                        StealOutcome::Got => {
+                            cx.recovery.publish_working(comm);
+                            transport.got_work(comm);
+                            return Discovery::GotWork;
+                        }
+                        StealOutcome::TimedOut => transport.after_timeout(comm, cx),
+                        StealOutcome::Denied | StealOutcome::TermRaced => {}
+                    }
+                    dog.reset();
+                }
+            }
+        }
+        if let Some(v) = crash_tick(comm, stack, transport, cx) {
+            return v;
+        }
+        comm.advance_idle(CRASH_IDLE_BACKOFF_NS);
+    }
+}
 
 /// How an idle worker finds more work or detects global termination — the
 /// §3.1 → §3.3.1 → §3.2 policy axis.
@@ -176,6 +345,11 @@ impl<T: Item, C: Comm<T>> TerminationDetector<T, C> for CancelableTerm {
         ST: StealTransport<T, C>,
         VS: VictimSelector,
     {
+        if cx.recovery.active {
+            // Crash faults: a dead rank would park the cancelable barrier
+            // forever; route through the recovery-aware discovery loop.
+            return discover_probing_crash(comm, stack, transport, victims, cx);
+        }
         cx.enter(comm, State::Searching);
         loop {
             if let Sweep::Stole = sweep(comm, stack, transport, victims, cx) {
@@ -212,6 +386,11 @@ impl<T: Item, C: Comm<T>> TerminationDetector<T, C> for StreamlinedTerm {
         ST: StealTransport<T, C>,
         VS: VictimSelector,
     {
+        if cx.recovery.active {
+            // Crash faults: the termination barrier cannot fill with a rank
+            // missing; route through the recovery-aware discovery loop.
+            return discover_probing_crash(comm, stack, transport, victims, cx);
+        }
         cx.enter(comm, State::Searching);
         loop {
             match sweep(comm, stack, transport, victims, cx) {
@@ -270,6 +449,12 @@ impl<T: Item, C: Comm<T>> TerminationDetector<T, C> for RingTerm {
         ST: StealTransport<T, C>,
         VS: VictimSelector,
     {
+        if cx.recovery.active {
+            // Crash faults: the counting token ring is unsound under message
+            // loss/duplication (transfer counts never balance) and a dead
+            // rank breaks the ring; bypass it entirely.
+            return discover_message_crash(comm, stack, transport, victims, cx);
+        }
         if !ST::STEALS {
             // Work pushing: idle threads have no initiative — park in
             // Terminating, absorbing pushed chunks between ring steps.

@@ -134,6 +134,12 @@ impl<T: Item> DfsStack<T> {
         self.base = 0;
         self.avail = 0;
     }
+
+    /// Drain the entire local region, oldest first (crash-recovery spill and
+    /// lineage re-injection bookkeeping).
+    pub fn drain_local(&mut self) -> Vec<T> {
+        self.local.drain(..).collect()
+    }
 }
 
 #[cfg(test)]

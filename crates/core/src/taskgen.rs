@@ -19,6 +19,16 @@ pub trait TaskGen: Sync {
 
     /// Append `task`'s children onto `out`; return how many were produced.
     fn expand(&self, task: &Self::Task, out: &mut Vec<Self::Task>) -> u32;
+
+    /// A stable identity for `task`, used only by crash-fault runs to count
+    /// exploration multiplicity (conservation-with-multiplicity checks in
+    /// [`crate::report::RunReport`]). The default `0` collapses every task
+    /// into one identity — fine when crash faults are off, which never read
+    /// it. Override with a collision-free hash to make duplicate counting
+    /// exact under crash recovery.
+    fn fingerprint(&self, _task: &Self::Task) -> u64 {
+        0
+    }
 }
 
 /// UTS: the Unbalanced Tree Search workload (the paper's benchmark).
@@ -48,6 +58,12 @@ impl TaskGen for UtsGen {
 
     fn expand(&self, task: &Node, out: &mut Vec<Node>) -> u32 {
         self.spec.expand_into(task, out)
+    }
+
+    /// The first 8 bytes of the node's SHA-1 state: unique per node for all
+    /// practical tree sizes, so crash-mode duplicate counts are exact.
+    fn fingerprint(&self, task: &Node) -> u64 {
+        u64::from_le_bytes(task.state[..8].try_into().expect("8-byte prefix"))
     }
 }
 
@@ -89,6 +105,12 @@ impl TaskGen for SyntheticGen {
             }
             self.branch
         }
+    }
+
+    /// Depth only — deliberately non-unique (all same-depth nodes collide),
+    /// so the synthetic workload is unsuitable for exact duplicate counting.
+    fn fingerprint(&self, task: &u32) -> u64 {
+        u64::from(*task)
     }
 }
 

@@ -64,6 +64,31 @@ pub enum Event {
         /// consumed instead.
         won: bool,
     },
+    /// This rank's scheduled crash fired: it spilled `items` nodes and died
+    /// (crash-fault runs only; see `docs/faults.md`).
+    Death {
+        /// Time of death.
+        t_ns: u64,
+        /// Nodes published in the spill.
+        items: u64,
+    },
+    /// This rank adopted a dead rank's orphaned spill.
+    Adopt {
+        /// Adoption time.
+        t_ns: u64,
+        /// The dead rank whose spill was recovered.
+        dead: usize,
+        /// Nodes recovered.
+        items: u64,
+    },
+    /// A donor re-injected an unacknowledged lineage grant (lost message or
+    /// dead thief).
+    Reinject {
+        /// Re-injection time.
+        t_ns: u64,
+        /// Nodes pushed back onto the donor's own stack.
+        items: u64,
+    },
 }
 
 /// Per-thread event recorder. When disabled (the default) every call is a
@@ -132,6 +157,30 @@ impl TraceLog {
     pub fn retract(&mut self, victim: usize, won: bool, t_ns: u64) {
         if self.enabled {
             self.events.push(Event::Retract { t_ns, victim, won });
+        }
+    }
+
+    /// Record this rank's death and spill size.
+    #[inline]
+    pub fn death(&mut self, items: u64, t_ns: u64) {
+        if self.enabled {
+            self.events.push(Event::Death { t_ns, items });
+        }
+    }
+
+    /// Record an adoption of `dead`'s spill.
+    #[inline]
+    pub fn adopt(&mut self, dead: usize, items: u64, t_ns: u64) {
+        if self.enabled {
+            self.events.push(Event::Adopt { t_ns, dead, items });
+        }
+    }
+
+    /// Record a lineage re-injection.
+    #[inline]
+    pub fn reinject(&mut self, items: u64, t_ns: u64) {
+        if self.enabled {
+            self.events.push(Event::Reinject { t_ns, items });
         }
     }
 

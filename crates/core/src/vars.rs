@@ -41,10 +41,40 @@ pub const ACK: usize = 8;
 /// thieves can reserve under lock; the lock-less owner keeps it private).
 pub const RESERVED: usize = 9;
 
+// ---- Crash-recovery cells (docs/faults.md "Crash faults and recovery").
+// Only ever written when the active FaultPlan has a crash class enabled;
+// fault-free runs never touch them, preserving bit-identity.
+
+/// Quiescence marker: 1 while this rank is out of work (parked in crash-mode
+/// work discovery, or dead), 0 while it holds work. Written by the owner
+/// only; rank 0's quiescence scan reads it.
+pub const Q_OUT: usize = 10;
+/// Work-acquisition epoch: bumped by the owner every time it transitions
+/// out → working. Rank 0's double scan declares termination only when two
+/// consecutive quiescent scans observe identical epoch vectors.
+pub const EPOCH: usize = 11;
+/// In-flight work marker: number of acquisitions/grants chargeable to this
+/// rank that quiescence must wait out (a thief mid-steal, a donor with
+/// unacknowledged WORK grants). Termination requires 0 everywhere.
+pub const LIN_OUT: usize = 12;
+/// Lease heartbeat: last virtual time the rank proved liveness (throttled
+/// own-cell put piggybacked on polls and idle loops).
+pub const HEARTBEAT: usize = 13;
+/// Death flag: the dying rank's last write, after its spill is published.
+/// Survivors confirm a stale heartbeat against this cell.
+pub const DEAD: usize = 14;
+/// Item offset of the dead rank's spilled work in its area.
+pub const SPILL_OFF: usize = 15;
+/// Item count of the dead rank's spilled work (0 = died empty-handed).
+pub const SPILL_LEN: usize = 16;
+/// Adoption ticket for the spill: survivors CAS `0 → 1 + me`; exactly one
+/// wins and re-injects the orphaned work.
+pub const ADOPT: usize = 17;
+
 /// Base of the block of cells reserved for the end-of-run collective
 /// reduction (the `upc_all_reduce` analog that combines per-thread node
 /// counts, as in the original UTS sources).
-pub const COLL_BASE: usize = 10;
+pub const COLL_BASE: usize = 18;
 
 /// Number of scalar cells the algorithms need per thread.
 pub const N_SCALARS: usize = COLL_BASE + pgas::collectives::COLLECTIVE_CELLS;
@@ -91,6 +121,14 @@ mod tests {
             STEAL_BASE,
             ACK,
             RESERVED,
+            Q_OUT,
+            EPOCH,
+            LIN_OUT,
+            HEARTBEAT,
+            DEAD,
+            SPILL_OFF,
+            SPILL_LEN,
+            ADOPT,
         ];
         for (i, a) in idx.iter().enumerate() {
             assert!(*a < N_SCALARS);

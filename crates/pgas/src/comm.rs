@@ -172,6 +172,14 @@ pub trait Comm<T: Item>: Send {
     fn area_truncate(&mut self, thread: usize, len: usize);
 
     /// Send a message to `dst`'s mailbox (non-blocking, buffered).
+    ///
+    /// Delivery is **at-most-twice, possibly never** under a
+    /// [`crate::FaultPlan`] with crash faults active: the simulator hashes
+    /// a [`crate::fault::MsgFate`] per send, silently dropping or
+    /// double-delivering it (the sender is charged either way). Protocols
+    /// that must survive such plans carry their own acknowledgement and
+    /// re-send layer — see the lineage tracking in `crates/core`. With no
+    /// crash classes active, delivery is exactly-once and in order.
     fn send(&mut self, dst: usize, tag: i64, meta: [i64; 4], payload: &[T]);
     /// Does a delivered message (optionally restricted to `tag`) await us?
     /// (MPI `Iprobe`.)

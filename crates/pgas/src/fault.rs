@@ -37,6 +37,8 @@ use crate::comm::OpClass;
 const SPIKE_SALT: u64 = 0x9E6C_63D0_876A_3F6B;
 const STALL_SALT: u64 = 0xD1B5_4A32_D192_ED03;
 const STRAGGLER_SALT: u64 = 0x8CB9_2BA7_2F3D_8DD7;
+const MSG_FATE_SALT: u64 = 0xA3F1_97C4_5E0B_D621;
+const KILL_SALT: u64 = 0x6D0F_B8E2_41C7_93A5;
 
 /// Mix (seed, salt, a, b) into a uniform u64 (splitmix64 finalizer). A pure
 /// function: both conductors evaluate it to the same value at the same
@@ -81,6 +83,34 @@ pub struct FaultPlan {
     pub straggler_mult_x16: u32,
     /// Cost multiplier (x16 fixed point) on lock-class operations.
     pub lock_mult_x16: u32,
+    /// Per-mille probability that a message send's effect is silently
+    /// dropped (the sender is still charged; nothing arrives).
+    pub loss_per_mille: u32,
+    /// Per-mille probability that a message send's effect lands twice
+    /// (a second copy arrives at double the flight time).
+    pub dup_per_mille: u32,
+    /// Per-mille probability that this plan kills one rank (never rank 0;
+    /// no death on single-thread runs). Which rank, and at which virtual
+    /// time in `[kill_min_ns, kill_min_ns + kill_span_ns)`, is hashed from
+    /// the seed.
+    pub kill_per_mille: u32,
+    /// Earliest virtual time at which the hashed rank death can land.
+    pub kill_min_ns: u64,
+    /// Width of the virtual-time window over which the death time is
+    /// hashed. `0` pins the death exactly at `kill_min_ns`.
+    pub kill_span_ns: u64,
+}
+
+/// The hashed fate of one message send under a [`FaultPlan`] with crash
+/// faults enabled (see [`FaultPlan::msg_fate`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgFate {
+    /// Delivered exactly once (the only fate under `none()`/`seeded()`).
+    Delivered,
+    /// The send is charged but no message arrives.
+    Lost,
+    /// Two copies arrive; the second at double the flight time.
+    Duplicated,
 }
 
 impl FaultPlan {
@@ -96,13 +126,19 @@ impl FaultPlan {
             straggler_per_mille: 0,
             straggler_mult_x16: 16,
             lock_mult_x16: 16,
+            loss_per_mille: 0,
+            dup_per_mille: 0,
+            kill_per_mille: 0,
+            kill_min_ns: 0,
+            kill_span_ns: 0,
         }
     }
 
     /// A moderate all-of-the-above chaos profile: ~10% of link windows at 8x
     /// latency, ~4% of thread windows stalled, ~1 in 8 threads a 4x
     /// straggler, and 2x lock costs. The schedule (which windows, which
-    /// links, which threads) is entirely determined by `seed`.
+    /// links, which threads) is entirely determined by `seed`. Crash faults
+    /// stay off — see [`FaultPlan::crashy`] for those.
     pub const fn seeded(seed: u64) -> FaultPlan {
         FaultPlan {
             enabled: true,
@@ -114,7 +150,26 @@ impl FaultPlan {
             straggler_per_mille: 125,
             straggler_mult_x16: 64,
             lock_mult_x16: 32,
+            loss_per_mille: 0,
+            dup_per_mille: 0,
+            kill_per_mille: 0,
+            kill_min_ns: 0,
+            kill_span_ns: 0,
         }
+    }
+
+    /// [`FaultPlan::seeded`] plus the crash classes: ~3% of message sends
+    /// lost, ~3% duplicated, and a ~35% chance that one hashed rank dies at
+    /// a hashed virtual time early in the run. Everything is still a pure
+    /// function of `seed`.
+    pub const fn crashy(seed: u64) -> FaultPlan {
+        let mut p = FaultPlan::seeded(seed);
+        p.loss_per_mille = 30;
+        p.dup_per_mille = 30;
+        p.kill_per_mille = 350;
+        p.kill_min_ns = 100_000;
+        p.kill_span_ns = 2_000_000;
+        p
     }
 
     /// Is any fault injection active? The simulator's only unconditional
@@ -122,6 +177,67 @@ impl FaultPlan {
     #[inline]
     pub fn is_active(&self) -> bool {
         self.enabled
+    }
+
+    /// Is any *crash* class (loss, duplication, rank death) active? Every
+    /// recovery-protocol operation in `crates/core` (heartbeats, lineage
+    /// records, adoption probes) is gated on this, so plans without crash
+    /// faults — including every pre-existing `seeded()` plan — keep their
+    /// exact operation sequence and virtual timestamps.
+    #[inline]
+    pub fn crash_active(&self) -> bool {
+        self.enabled
+            && (self.loss_per_mille > 0 || self.dup_per_mille > 0 || self.kill_per_mille > 0)
+    }
+
+    /// The hashed fate of a message sent over `src -> dst` at virtual time
+    /// `now`. One hash decides both omission classes so their probabilities
+    /// are exact and mutually exclusive.
+    pub fn msg_fate(&self, src: usize, dst: usize, now: u64) -> MsgFate {
+        if !self.enabled || (self.loss_per_mille == 0 && self.dup_per_mille == 0) {
+            return MsgFate::Delivered;
+        }
+        let h = mix(
+            self.seed,
+            MSG_FATE_SALT,
+            now,
+            ((src as u64) << 32) | dst as u64,
+        ) % 1000;
+        if h < self.loss_per_mille as u64 {
+            MsgFate::Lost
+        } else if h < (self.loss_per_mille + self.dup_per_mille) as u64 {
+            MsgFate::Duplicated
+        } else {
+            MsgFate::Delivered
+        }
+    }
+
+    /// The rank this plan kills, if any. At most one rank per plan dies —
+    /// never rank 0 (it anchors termination fallback and report assembly),
+    /// and never on single-thread runs.
+    pub fn killed_rank(&self, nthreads: usize) -> Option<usize> {
+        if !self.enabled || self.kill_per_mille == 0 || nthreads < 2 {
+            return None;
+        }
+        if mix(self.seed, KILL_SALT, 0, nthreads as u64) % 1000 >= self.kill_per_mille as u64 {
+            return None;
+        }
+        Some(1 + (mix(self.seed, KILL_SALT, 1, nthreads as u64) % (nthreads as u64 - 1)) as usize)
+    }
+
+    /// The virtual time at which `tid` dies under this plan, or `None` if
+    /// `tid` survives. A pure function of the plan, so the rank itself, the
+    /// conductor, and every survivor all agree on it.
+    pub fn kill_time(&self, tid: usize, nthreads: usize) -> Option<u64> {
+        if self.killed_rank(nthreads)? != tid {
+            return None;
+        }
+        let jitter = if self.kill_span_ns == 0 {
+            0
+        } else {
+            mix(self.seed, KILL_SALT, 2, tid as u64) % self.kill_span_ns
+        };
+        Some(self.kill_min_ns + jitter)
     }
 
     /// Is `tid` a permanent straggler under this plan?
@@ -227,10 +343,75 @@ mod tests {
     fn none_is_inert() {
         let p = FaultPlan::none();
         assert!(!p.is_active());
+        assert!(!p.crash_active());
         assert_eq!(p.op_cost(0, 1, OpClass::Lock, 1234, 999_999), 1234);
         assert_eq!(p.work_ns(0, 500), 500);
         assert_eq!(p.flight_ns(0, 1, 700, 42), 700);
         assert!(!p.is_straggler(0));
+        assert_eq!(p.msg_fate(0, 1, 12345), MsgFate::Delivered);
+        assert_eq!(p.killed_rank(8), None);
+        assert_eq!(p.kill_time(3, 8), None);
+    }
+
+    #[test]
+    fn seeded_has_no_crash_faults() {
+        // Every pre-existing faulted test and result pins `seeded()` plans;
+        // the crash classes must stay off there.
+        let p = FaultPlan::seeded(0xFA_17);
+        assert!(p.is_active());
+        assert!(!p.crash_active());
+        for now in (0..1_000_000).step_by(999) {
+            assert_eq!(p.msg_fate(0, 1, now), MsgFate::Delivered);
+        }
+        assert_eq!(p.killed_rank(16), None);
+    }
+
+    #[test]
+    fn msg_fate_is_deterministic_and_covers_all_classes() {
+        let p = FaultPlan::crashy(5);
+        assert!(p.crash_active());
+        let mut lost = 0;
+        let mut dup = 0;
+        let mut ok = 0;
+        for now in 0..20_000u64 {
+            let f = p.msg_fate(1, 2, now * 37);
+            assert_eq!(f, p.msg_fate(1, 2, now * 37));
+            match f {
+                MsgFate::Lost => lost += 1,
+                MsgFate::Duplicated => dup += 1,
+                MsgFate::Delivered => ok += 1,
+            }
+        }
+        // 30 per mille each, 20k samples: both classes must appear, and
+        // delivery must dominate.
+        assert!(lost > 0 && dup > 0, "lost={lost} dup={dup}");
+        assert!(ok > lost + dup);
+        let frac = (lost + dup) as f64 / 20_000.0;
+        assert!(frac > 0.02 && frac < 0.12, "crash fraction {frac}");
+    }
+
+    #[test]
+    fn kill_picks_at_most_one_victim_never_rank_zero() {
+        let mut deaths = 0;
+        for seed in 0..200u64 {
+            let p = FaultPlan::crashy(seed);
+            if let Some(victim) = p.killed_rank(8) {
+                deaths += 1;
+                assert!(victim >= 1 && victim < 8);
+                let t = p.kill_time(victim, 8).expect("victim has a kill time");
+                assert!(t >= p.kill_min_ns && t < p.kill_min_ns + p.kill_span_ns);
+                // Everyone else survives.
+                for other in 0..8 {
+                    if other != victim {
+                        assert_eq!(p.kill_time(other, 8), None);
+                    }
+                }
+            }
+        }
+        // 350 per mille nominal over 200 plans.
+        assert!(deaths > 30 && deaths < 140, "deaths={deaths}");
+        // No deaths on single-thread runs.
+        assert_eq!(FaultPlan::crashy(1).killed_rank(1), None);
     }
 
     #[test]
@@ -276,13 +457,8 @@ mod tests {
         let p = FaultPlan {
             enabled: true,
             seed: 9,
-            window_ns: 0,
-            spike_per_mille: 0,
-            spike_mult_x16: 16,
-            stall_per_mille: 0,
-            straggler_per_mille: 0,
-            straggler_mult_x16: 16,
             lock_mult_x16: 32,
+            ..FaultPlan::none()
         };
         assert_eq!(p.op_cost(0, 1, OpClass::Lock, 1000, 0), 2000);
         assert_eq!(p.op_cost(0, 1, OpClass::Scalar, 1000, 0), 1000);
@@ -296,12 +472,8 @@ mod tests {
             enabled: true,
             seed: 4,
             window_ns: 1_000,
-            spike_per_mille: 0,
-            spike_mult_x16: 16,
             stall_per_mille: 1000,
-            straggler_per_mille: 0,
-            straggler_mult_x16: 16,
-            lock_mult_x16: 16,
+            ..FaultPlan::none()
         };
         let cost = p.op_cost(0, 0, OpClass::Poll, 10, 500);
         // 64-window scan bound: resume at (1 + 64) * 1000.
@@ -324,10 +496,7 @@ mod tests {
             window_ns: 10_000,
             spike_per_mille: 500,
             spike_mult_x16: 160,
-            stall_per_mille: 0,
-            straggler_per_mille: 0,
-            straggler_mult_x16: 16,
-            lock_mult_x16: 16,
+            ..FaultPlan::none()
         };
         // With 50% of windows spiked at 10x, some window/link combination
         // must be spiked and some must not be.

@@ -62,7 +62,7 @@ use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::comm::{Comm, Item, OpClass, SpaceConfig};
-use crate::fault::FaultPlan;
+use crate::fault::{FaultPlan, MsgFate};
 use crate::machine::MachineModel;
 use crate::msg::Msg;
 use crate::stats::{CommStats, ConductorStats};
@@ -957,18 +957,39 @@ impl<T: Item> Comm<T> for SimComm<T> {
         let mut flight = self
             .machine()
             .msg_flight_ns(self.tid, dst, msg.wire_bytes());
+        let mut fate = MsgFate::Delivered;
         if self.faults.is_active() {
             // A spiked link also congests in-flight traffic, keyed on the
             // send's issue time.
             let adj = self.faults.flight_ns(self.tid, dst, flight, self.now());
             self.stats.fault_ns += adj - flight;
             flight = adj;
+            // Crash faults: the send is priced either way, but its effect
+            // may be dropped or land twice (second copy at double flight).
+            fate = self.faults.msg_fate(self.tid, dst, self.now());
+            match fate {
+                MsgFate::Lost => self.stats.msgs_lost += 1,
+                MsgFate::Duplicated => self.stats.msgs_duplicated += 1,
+                MsgFate::Delivered => {}
+            }
         }
         let overhead = self.machine().msg_overhead_ns;
         self.op(OpClass::Message, dst, overhead, move |m, now| {
+            if fate == MsgFate::Lost {
+                return;
+            }
             let seq = m.send_seq;
             m.send_seq += 1;
             m.mailboxes[dst].insert((now + flight, seq), msg);
+            if fate == MsgFate::Duplicated {
+                let dup = m.mailboxes[dst]
+                    .get(&(now + flight, seq))
+                    .cloned()
+                    .expect("just inserted");
+                let seq2 = m.send_seq;
+                m.send_seq += 1;
+                m.mailboxes[dst].insert((now + 2 * flight, seq2), dup);
+            }
         })
     }
 
@@ -1400,6 +1421,52 @@ mod tests {
         assert!(
             fast.total_stats().fault_ns > 0,
             "fault plan never injected anything"
+        );
+    }
+
+    /// Crash-fault omission classes: under a `crashy` plan some sends are
+    /// dropped and some land twice, the counters record exactly that, and
+    /// the schedule stays bit-identical across both conductors.
+    #[test]
+    fn crash_plan_loses_and_duplicates_messages_deterministically() {
+        let workload = |c: &mut SimComm<u64>| {
+            let me = c.my_id();
+            let n = c.n_threads();
+            // A send-heavy phase, then drain: every thread fires 200
+            // messages and then counts what actually arrived.
+            for i in 0..200u64 {
+                c.send((me + 1 + i as usize % (n - 1)) % n, 1, [i as i64; 4], &[i]);
+                c.work(3 + i % 5);
+            }
+            let mut got = 0u64;
+            for _ in 0..4000 {
+                if c.try_recv(Some(1)).is_some() {
+                    got += 1;
+                }
+                c.advance_idle(500);
+            }
+            got
+        };
+        let run = |lookahead: bool| {
+            SimCluster::<u64>::new(MachineModel::kittyhawk(), 6, SpaceConfig::default())
+                .with_lookahead(lookahead)
+                .with_faults(FaultPlan::crashy(0xC4A5))
+                .run(workload)
+        };
+        let fast = run(true);
+        let slow = run(false);
+        assert_eq!(fast.results, slow.results);
+        assert_eq!(fast.clocks, slow.clocks);
+        assert_eq!(fast.stats, slow.stats);
+        let total = fast.total_stats();
+        assert!(total.msgs_lost > 0, "no sends were lost");
+        assert!(total.msgs_duplicated > 0, "no sends were duplicated");
+        // Conservation of effects: arrivals = sent - lost + duplicated.
+        let arrived: u64 = fast.results.iter().sum();
+        assert_eq!(
+            arrived,
+            total.msgs_sent - total.msgs_lost + total.msgs_duplicated,
+            "mailbox arrivals must match the send/loss/dup ledger"
         );
     }
 

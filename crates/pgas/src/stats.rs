@@ -39,6 +39,12 @@ pub struct CommStats {
     pub msgs_received: u64,
     /// Payload items sent in messages.
     pub msg_items_sent: u64,
+    /// Sends whose effect the active [`crate::FaultPlan`] silently dropped
+    /// (always zero without crash faults).
+    pub msgs_lost: u64,
+    /// Sends the active [`crate::FaultPlan`] delivered twice (always zero
+    /// without crash faults).
+    pub msgs_duplicated: u64,
     /// `poll()` invocations.
     pub polls: u64,
     /// Nanoseconds charged to communication (everything except `work`).
@@ -80,6 +86,8 @@ impl CommStats {
         self.msgs_sent += other.msgs_sent;
         self.msgs_received += other.msgs_received;
         self.msg_items_sent += other.msg_items_sent;
+        self.msgs_lost += other.msgs_lost;
+        self.msgs_duplicated += other.msgs_duplicated;
         self.polls += other.polls;
         self.comm_ns += other.comm_ns;
         self.work_ns += other.work_ns;

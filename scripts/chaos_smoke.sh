@@ -2,11 +2,14 @@
 # CI smoke for the fault-injection chaos soak (docs/faults.md §6).
 #
 # Runs a bounded sweep of seeded fault schedules across all five paper
-# algorithms on T-tiny with the steal timeout armed. Each run must
-# terminate with the exact sequential node count; the binary exits nonzero
-# on any conservation or termination violation (or if the wall-clock
-# budget is blown, which indicates a livelock). Sized for a tier-1 time
-# budget: the default 50-schedule sweep completes in a few seconds.
+# algorithms on T-tiny with the steal timeout armed, then a crash-class
+# sweep (message loss/duplication + rank death) checked for conservation
+# with multiplicity. Each seeded run must terminate with the exact
+# sequential node count; the binary exits nonzero on any conservation or
+# termination violation, printing the offending algorithm and full
+# FaultPlan (seed included) for replay. A blown wall-clock budget also
+# fails (livelock). Sized for a tier-1 time budget: the default
+# 50+50-schedule sweep completes in a few seconds.
 #
 # Extra arguments are passed through to the chaos binary, e.g.:
 #   scripts/chaos_smoke.sh --schedules 200 --tree s --threads 64
@@ -14,5 +17,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo build --release --offline -p uts-bench --bin chaos
 mkdir -p results/logs
+# Arm the protocol watchdogs even in this release build so a livelocked
+# loop dies with a named panic rather than eating the whole budget.
+UTS_WATCHDOG_RELEASE=1 \
 ./target/release/chaos --schedules 50 --threads 16 --budget-s 120 \
   "$@" | tee results/logs/chaos_smoke.log

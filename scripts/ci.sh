@@ -16,4 +16,7 @@ cargo test -q
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
+echo "== chaos smoke (fault + crash sweeps) =="
+scripts/chaos_smoke.sh
+
 echo "CI OK"

@@ -103,6 +103,81 @@ fn none_plan_is_bit_identical_in_both_conductor_modes() {
     }
 }
 
+/// Derive a deterministic *crash-class* plan from `i`: message loss and
+/// duplication plus a guaranteed rank death at a pseudo-random virtual time
+/// (kill rate 1000‰ sweeps the hard case on every iteration; the plain
+/// `crashy()` rate is exercised by the proptest suite).
+fn crash_plan(i: u64) -> FaultPlan {
+    let r = i.wrapping_mul(0xD134_2543_DE82_EF95).rotate_left(23);
+    FaultPlan {
+        loss_per_mille: 20 + (r % 40) as u32,
+        dup_per_mille: 20 + ((r >> 8) % 40) as u32,
+        kill_per_mille: 1000,
+        kill_min_ns: 30_000 + (r >> 16) % 100_000,
+        kill_span_ns: 200_000,
+        ..FaultPlan::crashy(r)
+    }
+}
+
+/// Conservation *with multiplicity* (docs/faults.md): under crash faults —
+/// lost grants, duplicated grants, and one guaranteed rank death per plan —
+/// every node of the tree is explored at least once, and every re-explored
+/// node is accounted as a duplicate, so `total - duplicates == tree size`.
+#[test]
+fn crash_faults_conserve_with_multiplicity() {
+    let p = presets::t_tiny();
+    let gen = UtsGen::new(p.spec);
+    let (expect, _) = seq_run(&gen);
+    for alg in Algorithm::paper_set() {
+        for i in 0..6u64 {
+            let mut cfg = RunConfig::new(alg, 4);
+            cfg.faults = crash_plan(i);
+            let report = run_sim(MachineModel::kittyhawk(), 8, &gen, &cfg);
+            assert!(
+                report.deaths <= 1,
+                "{} plan {i}: at most one rank dies per plan",
+                alg.label()
+            );
+            assert_eq!(
+                report.total_nodes - report.duplicate_nodes,
+                expect,
+                "{} plan {i} ({:?}) lost nodes: total={} dup={} deaths={}",
+                alg.label(),
+                cfg.faults,
+                report.total_nodes,
+                report.duplicate_nodes,
+                report.deaths
+            );
+        }
+    }
+}
+
+/// A crash-faulted run — including the death, the adoption, and every
+/// re-injected grant — is bit-identical across the fast fiber conductor and
+/// the reference OS-thread conductor.
+#[test]
+fn crash_runs_agree_across_conductors() {
+    let p = presets::t_tiny();
+    let gen = UtsGen::new(p.spec);
+    for alg in Algorithm::paper_set() {
+        let mut fast = RunConfig::new(alg, 2);
+        fast.faults = crash_plan(3);
+        let mut reference = fast;
+        reference.sim_lookahead = false;
+        let a = run_sim(MachineModel::kittyhawk(), 6, &gen, &fast);
+        let b = run_sim(MachineModel::kittyhawk(), 6, &gen, &reference);
+        assert_eq!(a.makespan_ns, b.makespan_ns, "{}", alg.label());
+        assert_eq!(a.deaths, b.deaths, "{}", alg.label());
+        assert_eq!(a.recovered_nodes, b.recovered_nodes, "{}", alg.label());
+        assert_eq!(a.duplicate_nodes, b.duplicate_nodes, "{}", alg.label());
+        for (t, (x, y)) in a.per_thread.iter().zip(&b.per_thread).enumerate() {
+            assert_eq!(x.nodes, y.nodes, "{} thread {t}", alg.label());
+            assert_eq!(x.died, y.died, "{} thread {t}", alg.label());
+            assert_eq!(x.comm, y.comm, "{} thread {t}", alg.label());
+        }
+    }
+}
+
 /// A *faulted* run is itself deterministic and conductor-independent: the
 /// fast fiber conductor and the reference OS-thread conductor agree on
 /// every virtual result under an active fault plan.

@@ -65,3 +65,74 @@ proptest! {
         }
     }
 }
+
+fn paper_algorithm_strategy() -> impl Strategy<Value = Algorithm> {
+    prop_oneof![
+        Just(Algorithm::SharedMem),
+        Just(Algorithm::Term),
+        Just(Algorithm::TermRapdif),
+        Just(Algorithm::DistMem),
+        Just(Algorithm::MpiWs),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        max_shrink_iters: 40,
+    })]
+
+    /// Conservation **with multiplicity** under random crash-fault plans
+    /// (docs/faults.md): with message loss, duplication, and rank death all
+    /// drawn at random, every node of the tree is still explored at least
+    /// once — `total - duplicates == expect` — and re-exploration stays
+    /// bounded (each node at most a handful of times, not a runaway storm).
+    #[test]
+    fn random_crash_plan_conserves_with_multiplicity(
+        seed in 0u64..1_000_000,
+        tree_seed in 0u32..200,
+        loss_pm in 0u32..60,
+        dup_pm in 0u32..60,
+        kill_pm in prop_oneof![Just(0u32), Just(350), Just(1000)],
+        kill_min in 10_000u64..150_000,
+        threads in 2usize..8,
+        alg in paper_algorithm_strategy(),
+        b0 in 16u32..64,
+    ) {
+        let spec = TreeSpec::binomial(tree_seed, b0, 2, 0.42);
+        let gen = UtsGen::new(spec);
+        let (expect, _) = seq_run(&gen);
+        prop_assume!(expect < 100_000);
+        let mut cfg = RunConfig::new(alg, 3);
+        cfg.steal_timeout_ns = Some(30_000);
+        cfg.faults = pgas::FaultPlan {
+            loss_per_mille: loss_pm,
+            dup_per_mille: dup_pm,
+            kill_per_mille: kill_pm,
+            kill_min_ns: kill_min,
+            kill_span_ns: 300_000,
+            ..pgas::FaultPlan::seeded(seed)
+        };
+        // Plans drawing all three rates at zero degenerate to the plain
+        // seeded schedule, which the non-crash proptest already covers —
+        // still worth keeping here as the boundary case.
+        let report = run_sim(MachineModel::kittyhawk(), threads, &gen, &cfg);
+        prop_assert_eq!(
+            report.total_nodes - report.duplicate_nodes,
+            expect,
+            "{} lost nodes: total={} dup={} deaths={} plan={:?}",
+            report.label, report.total_nodes, report.duplicate_nodes,
+            report.deaths, cfg.faults
+        );
+        prop_assert!(report.deaths <= 1);
+        prop_assert!(
+            report.max_multiplicity <= 8,
+            "node re-explored {} times under {:?}",
+            report.max_multiplicity, cfg.faults
+        );
+        if !cfg.faults.crash_active() {
+            prop_assert_eq!(report.duplicate_nodes, 0);
+            prop_assert_eq!(report.recovered_nodes, 0);
+        }
+    }
+}

@@ -61,7 +61,10 @@ fn event_timestamps_monotone_per_thread() {
                 | Event::StealFail { t_ns, .. }
                 | Event::StealTimeout { t_ns, .. }
                 | Event::Retract { t_ns, .. }
-                | Event::Release { t_ns } => *t_ns,
+                | Event::Release { t_ns }
+                | Event::Death { t_ns, .. }
+                | Event::Adopt { t_ns, .. }
+                | Event::Reinject { t_ns, .. } => *t_ns,
             };
             assert!(t >= last, "event time went backwards");
             last = t;
