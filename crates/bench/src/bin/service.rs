@@ -1,0 +1,220 @@
+//! Service-mode sweep (EXPERIMENTS.md E17): open-loop arrival rates against
+//! the locked, distmem, and mpi-ws bundles, reporting per-request tail
+//! latency from the epoch-quiescence pipeline (`docs/service.md`).
+//!
+//! Three blocks:
+//!
+//! 1. **Saturation sweep** — Poisson arrivals at increasing rates, p=64 and
+//!    p=256. Requests are small (~80-node binomial trees), so the knee is
+//!    *detection-bound*, not CPU-bound: past the point where arrivals
+//!    outpace the per-epoch quiescence pipeline (admission window / epoch
+//!    turnaround), injections defer and latency grows with queue depth.
+//! 2. **Burstiness** — MMPP arrivals alternating a quiet and a hot rate
+//!    with the same long-run mean as a mid-sweep Poisson row, isolating
+//!    what bursts alone do to p99/p999.
+//! 3. **Chaos under load** — the same mid-sweep point under a seeded
+//!    benign-fault plan and under a crash plan (message loss, duplication,
+//!    rank kills); conservation-with-multiplicity is asserted per epoch
+//!    inside `run_service_sim`, so every printed row is a verified run.
+//!
+//! Run with: `cargo run --release -p uts-bench --bin service`
+//! (`--smoke` for the CI-sized subset; `--csv` off by `--no-csv`).
+//! Writes `results/service.csv`.
+
+use pgas::{ArrivalSpec, FaultPlan, MachineModel};
+use uts_bench::harness::flag;
+use uts_tree::TreeSpec;
+use worksteal::{run_service_sim, Algorithm, RunConfig, RunReport, ServiceReport, UtsGen};
+
+/// One CSV/table row of a service run.
+struct SvcRow {
+    bundle: &'static str,
+    process: String,
+    rate_per_s: f64,
+    threads: usize,
+    requests: usize,
+    deferred: u64,
+    nodes: u64,
+    dup_nodes: u64,
+    deaths: usize,
+    makespan_ms: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    mean_us: f64,
+    max_us: f64,
+    faults: &'static str,
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1_000.0
+}
+
+fn run_one(
+    alg: Algorithm,
+    threads: usize,
+    arrivals: &ArrivalSpec,
+    rate_per_s: f64,
+    process: &str,
+    faults: FaultPlan,
+    fault_label: &'static str,
+) -> SvcRow {
+    // ~80 expected nodes per request: 1 + b0 * 1/(1 - m*q) geometric layers.
+    let gen = UtsGen::new(TreeSpec::binomial(101, 8, 2, 0.45));
+    let mut cfg = RunConfig::new(alg, 4);
+    cfg.faults = faults;
+    let report: RunReport = run_service_sim(MachineModel::kittyhawk(), threads, &gen, &cfg, arrivals);
+    let svc: &ServiceReport = report.service.as_ref().expect("service report");
+    SvcRow {
+        bundle: alg.label(),
+        process: process.to_string(),
+        rate_per_s,
+        threads,
+        requests: svc.requests,
+        deferred: svc.deferred_injections,
+        nodes: report.total_nodes,
+        dup_nodes: report.duplicate_nodes,
+        deaths: report.deaths,
+        makespan_ms: report.makespan_ns as f64 / 1e6,
+        p50_us: us(svc.hist.p50()),
+        p99_us: us(svc.hist.p99()),
+        p999_us: us(svc.hist.p999()),
+        mean_us: us(svc.hist.mean()),
+        max_us: us(svc.hist.max()),
+        faults: fault_label,
+    }
+}
+
+fn print_rows(title: &str, rows: &[SvcRow]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<12} {:>8} {:>5} {:>4} {:>5} {:>9} {:>9} {:>9} {:>9} {:>8} {:>4} {:>6}",
+        "bundle", "rate/s", "p", "req", "defer", "p50us", "p99us", "p999us", "maxus", "mkspn ms", "die", "faults"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>8.0} {:>5} {:>4} {:>5} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>8.2} {:>4} {:>6}",
+            r.bundle,
+            r.rate_per_s,
+            r.threads,
+            r.requests,
+            r.deferred,
+            r.p50_us,
+            r.p99_us,
+            r.p999_us,
+            r.max_us,
+            r.makespan_ms,
+            r.deaths,
+            r.faults
+        );
+    }
+}
+
+fn write_csv(rows: &[SvcRow]) {
+    use std::io::Write;
+    let dir = std::path::PathBuf::from("results");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join("service.csv");
+    let mut out = match std::fs::File::create(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("warn: cannot write {}: {e}", path.display());
+            return;
+        }
+    };
+    let _ = writeln!(
+        out,
+        "bundle,process,rate_per_s,threads,requests,deferred,nodes,dup_nodes,deaths,makespan_ms,p50_us,p99_us,p999_us,mean_us,max_us,faults"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{:.4},{:.2},{:.2},{:.2},{:.2},{:.2},{}",
+            r.bundle,
+            r.process,
+            r.rate_per_s,
+            r.threads,
+            r.requests,
+            r.deferred,
+            r.nodes,
+            r.dup_nodes,
+            r.deaths,
+            r.makespan_ms,
+            r.p50_us,
+            r.p99_us,
+            r.p999_us,
+            r.mean_us,
+            r.max_us,
+            r.faults
+        );
+    }
+    println!("\nwrote {}", path.display());
+}
+
+fn main() {
+    let smoke = flag("--smoke");
+    let bundles = [Algorithm::Term, Algorithm::DistMem, Algorithm::MpiWs];
+    let mut rows: Vec<SvcRow> = Vec::new();
+
+    if smoke {
+        // CI-sized: one low-rate fault-free row and one crash row per a
+        // locked + a message transport; minutes of margin on any box.
+        let arrivals = ArrivalSpec::poisson(5, 6, 20_000.0);
+        for alg in [Algorithm::Term, Algorithm::MpiWs] {
+            rows.push(run_one(alg, 8, &arrivals, 20_000.0, "poisson", FaultPlan::none(), "none"));
+            rows.push(run_one(alg, 8, &arrivals, 20_000.0, "poisson", FaultPlan::crashy(3), "crashy"));
+        }
+        print_rows("service smoke", &rows);
+        for r in &rows {
+            assert_eq!(r.requests, 6, "{}: lost a request", r.bundle);
+        }
+        println!("service smoke OK: {} runs, all requests completed", rows.len());
+        return;
+    }
+
+    // Block 1: saturation sweep.
+    for &(threads, n_req, rates) in &[
+        (64usize, 48usize, &[2_000.0, 10_000.0, 30_000.0, 60_000.0][..]),
+        (256, 32, &[10_000.0, 60_000.0][..]),
+    ] {
+        for &rate in rates {
+            let arrivals = ArrivalSpec::poisson(17, n_req, rate);
+            for alg in bundles {
+                rows.push(run_one(alg, threads, &arrivals, rate, "poisson", FaultPlan::none(), "none"));
+            }
+        }
+    }
+    print_rows("saturation sweep (poisson)", &rows);
+
+    // Block 2: burstiness at matched mean rate (~10k/s long-run).
+    let mut mmpp_rows = Vec::new();
+    let mmpp = ArrivalSpec::mmpp(29, 48, 2_000.0, 60_000.0, 1_000_000);
+    for alg in bundles {
+        mmpp_rows.push(run_one(alg, 64, &mmpp, 10_000.0, "mmpp", FaultPlan::none(), "none"));
+    }
+    print_rows("burstiness (mmpp 2k/60k, 1ms dwell)", &mmpp_rows);
+    rows.extend(mmpp_rows);
+
+    // Block 3: chaos under load at the mid-sweep point.
+    let mut chaos_rows = Vec::new();
+    let arrivals = ArrivalSpec::poisson(17, 48, 10_000.0);
+    // The stock crashy plan kills one rank with probability 0.35 hashed
+    // from (seed, nthreads); pin it to 1000‰ so the crash row always shows
+    // a mid-run death (the interesting case for the p999 table).
+    let crash = FaultPlan {
+        kill_per_mille: 1000,
+        ..FaultPlan::crashy(11)
+    };
+    for alg in bundles {
+        chaos_rows.push(run_one(alg, 64, &arrivals, 10_000.0, "poisson", FaultPlan::seeded(11), "seeded"));
+        chaos_rows.push(run_one(alg, 64, &arrivals, 10_000.0, "poisson", crash, "crashy"));
+    }
+    print_rows("chaos under load (10k/s, p=64)", &chaos_rows);
+    rows.extend(chaos_rows);
+
+    if !flag("--no-csv") {
+        write_csv(&rows);
+    }
+}

@@ -144,6 +144,7 @@ fn assemble(
         duplicate_nodes,
         max_multiplicity,
         deaths: per_thread.iter().filter(|t| t.died).count(),
+        service: None,
         per_thread,
     }
 }

@@ -1,0 +1,279 @@
+//! HDR-style log-bucketed latency histogram.
+//!
+//! Service mode reports per-request latency quantiles (p50/p99/p999) over
+//! thousands of requests whose latencies span five-plus orders of magnitude
+//! of virtual nanoseconds. A fixed-width histogram cannot cover that range;
+//! a sorted vector of raw samples can, but makes merging per-thread results
+//! allocation-heavy and makes the report's equality semantics (the
+//! conductor bit-identity tests compare whole histograms) depend on sample
+//! order. The classic answer is HDR bucketing: exact counts for small
+//! values, then every power-of-two octave split into a fixed number of
+//! sub-buckets, giving a bounded relative error (< 1/32 ≈ 3.1% here) at
+//! every scale with a few KiB of `u64` counters.
+//!
+//! Everything is integer arithmetic — recording, merging, and quantile
+//! extraction are deterministic, so two runs that process the same
+//! latencies in any order produce `==` histograms.
+
+/// Sub-buckets per octave. Values below `SUBS` are recorded exactly;
+/// above, each octave `[2^k, 2^{k+1})` is split into `SUBS` equal buckets.
+const SUBS: u64 = 32;
+/// log2(SUBS).
+const SUB_BITS: u32 = 5;
+/// Total bucket count: 32 exact + 32 per octave for octaves 5..=63.
+const N_BUCKETS: usize = (SUBS as usize) * 60;
+
+/// Log-bucketed histogram of `u64` samples (virtual nanoseconds).
+#[derive(Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// Bucket index for a value: identity below [`SUBS`], then
+/// `(octave, top 5 mantissa bits)`.
+fn bucket_of(v: u64) -> usize {
+    if v < SUBS {
+        return v as usize;
+    }
+    let k = 63 - v.leading_zeros(); // k >= SUB_BITS
+    let sub = (v >> (k - SUB_BITS)) & (SUBS - 1);
+    ((k - SUB_BITS + 1) as u64 * SUBS + sub) as usize
+}
+
+/// Lower bound of a bucket: the smallest value that maps to it. Used as the
+/// reported quantile value, so quantiles are always an actual representable
+/// sample floor (≤ the true quantile, within one bucket width).
+fn bucket_floor(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUBS {
+        return idx;
+    }
+    let g = idx >> SUB_BITS; // octave group, >= 1
+    let sub = idx & (SUBS - 1);
+    (SUBS + sub) << (g - 1)
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: vec![0; N_BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one (order-independent).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact maximum recorded sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum recorded sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean of the recorded samples, rounded down (0 if empty). Exact — the
+    /// sum is kept outside the buckets.
+    pub fn mean(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            (self.sum / self.total as u128) as u64
+        }
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) as a bucket floor: the largest value `x`
+    /// such that fewer than `ceil(q · count)` samples are below `x`'s
+    /// bucket. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        // ceil(q * total) computed in integers to stay deterministic: the
+        // only float op is the product, identical on every platform.
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Clamp to the exact extremes so p0/p100 are exact.
+                return bucket_floor(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Iterate non-empty buckets as `(floor, count)` (for plotting/CSV).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_floor(i), c))
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.total)
+            .field("min", &self.min())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .field("p999", &self.p999())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        // Every value maps to a bucket whose floor is <= it, floors are
+        // non-decreasing in the value, and adjacent octaves join up.
+        let mut last = 0;
+        for v in (0..4096u64).chain([u64::MAX / 2, u64::MAX]) {
+            let idx = bucket_of(v);
+            assert!(bucket_floor(idx) <= v, "floor({idx}) > {v}");
+            assert!(idx >= last, "index regressed at {v}");
+            last = idx;
+            assert!(idx < N_BUCKETS);
+        }
+        // Small values are exact.
+        for v in 0..SUBS {
+            assert_eq!(bucket_floor(bucket_of(v)), v);
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [100u64, 999, 12_345, 1 << 20, 987_654_321] {
+            let floor = bucket_floor(bucket_of(v));
+            assert!(floor <= v);
+            assert!((v - floor) as f64 / (v as f64) < 1.0 / 16.0, "error at {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_on_a_known_distribution() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1ms .. 1s in µs units, say
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1000);
+        assert_eq!(h.max(), 1_000_000);
+        // p50 within one bucket (3.1%) of 500_000.
+        let p50 = h.p50() as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.04, "p50={p50}");
+        let p99 = h.p99() as f64;
+        assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.04, "p99={p99}");
+        assert!(h.p999() <= h.max());
+        assert!(h.p50() <= h.p99() && h.p99() <= h.p999());
+        let mean = h.mean();
+        assert_eq!(mean, 500_500); // exact: sum tracked outside buckets
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let samples: Vec<u64> = (0..500u64).map(|i| i * i + 7).collect();
+        let mut whole = LatencyHistogram::new();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            whole.record(s);
+            if i % 2 == 0 {
+                a.record(s);
+            } else {
+                b.record(s);
+            }
+        }
+        a.merge(&b);
+        assert!(a == whole, "merge must be exact: {a:?} vs {whole:?}");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p999(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        h.record(123_456);
+        // min/max clamping makes every quantile exact with one sample.
+        assert_eq!(h.p50(), 123_456);
+        assert_eq!(h.p99(), 123_456);
+        assert_eq!(h.p999(), 123_456);
+    }
+}

@@ -40,6 +40,7 @@ pub mod barrier;
 pub mod config;
 pub mod distmem;
 pub mod engine;
+pub mod hist;
 pub mod locked;
 pub mod model;
 pub mod mpi_ws;
@@ -48,6 +49,7 @@ pub mod pushing;
 pub mod recovery;
 pub mod report;
 pub mod sched;
+pub mod service;
 pub mod stack;
 pub mod state;
 pub mod taskgen;
@@ -57,10 +59,12 @@ pub mod watchdog;
 
 pub use config::{Algorithm, RunConfig};
 pub use engine::{run_native, run_sim, seq_run, worker};
+pub use hist::LatencyHistogram;
 pub use probe::{ProbeOrder, VictimSelector};
 pub use report::{RunReport, ThreadResult};
 pub use sched::{
     drive, run_bundle, BundleSpec, StealPolicy, StealPolicyKind, TerminationKind, TransportKind,
     VictimPolicy,
 };
+pub use service::{run_service_sim, RequestStat, ServiceReport, ServiceWorkload, Stamped};
 pub use taskgen::{SyntheticGen, TaskGen, UtsGen};

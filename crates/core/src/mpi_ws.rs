@@ -79,6 +79,9 @@ pub struct MpiTransport<T> {
     lineage: Lineage<T>,
     /// Whether the run's fault plan has a crash class active.
     crash: bool,
+    /// Service mode's task→epoch extractor (see
+    /// [`StealTransport::arm_service`]); `None` in batch runs.
+    epoch_of: Option<fn(&T) -> u32>,
 }
 
 impl<T: Item> MpiTransport<T> {
@@ -93,6 +96,7 @@ impl<T: Item> MpiTransport<T> {
             work_recv: 0,
             lineage: Lineage::new(),
             crash: false,
+            epoch_of: None,
         }
     }
 
@@ -107,7 +111,14 @@ impl<T: Item> MpiTransport<T> {
             return;
         }
         while let Some(m) = comm.try_recv(Some(TAG_ACK)) {
-            self.lineage.ack(comm, m.meta[0] as u64);
+            if let Some(grant) = self.lineage.ack(comm, m.meta[0] as u64) {
+                // The thief published its +items before this ACK could be
+                // sent, so closing the donor side now can only overcount,
+                // never undercount (service mode only).
+                if let Some(ep) = self.epoch_of {
+                    cx.svc.bump_items(comm, grant.payload(), ep, -1);
+                }
+            }
         }
         let items = self.lineage.reinject_due(comm, stack, &mut cx.recovery);
         if items > 0 {
@@ -117,12 +128,24 @@ impl<T: Item> MpiTransport<T> {
         }
     }
 
-    /// Crash mode: mark ourselves working, then acknowledge grant `m` so
-    /// the donor can close its lineage entry. Working-before-ACK is the
-    /// ordering the quiescence scan's soundness rests on.
-    fn crash_ack_work<C: Comm<T>>(&mut self, comm: &mut C, src: usize, grant_id: i64, cx: &mut Cx) {
+    /// Crash mode: mark ourselves working (and, in service mode, put the
+    /// absorbed items on our per-epoch books), then acknowledge grant `m`
+    /// so the donor can close its lineage entry. Working/absorb-before-ACK
+    /// is the ordering both quiescence scans' soundness rests on: the
+    /// donor's `−items` can only follow our `+items`.
+    fn crash_ack_work<C: Comm<T>>(
+        &mut self,
+        comm: &mut C,
+        src: usize,
+        grant_id: i64,
+        payload: &[T],
+        cx: &mut Cx,
+    ) {
         if self.crash {
             cx.recovery.publish_working(comm);
+            if let Some(ep) = self.epoch_of {
+                cx.svc.bump_items(comm, payload, ep, 1);
+            }
             comm.send(src, TAG_ACK, [grant_id, 0, 0, 0], &[]);
         }
     }
@@ -175,6 +198,10 @@ impl<T: Item, C: Comm<T>> StealTransport<T, C> for MpiTransport<T> {
         self.crash = cx.recovery.active;
     }
 
+    fn arm_service(&mut self, epoch_of: fn(&T) -> u32) {
+        self.epoch_of = Some(epoch_of);
+    }
+
     fn on_enter_working(&mut self) {
         self.since_poll = 0;
     }
@@ -212,7 +239,7 @@ impl<T: Item, C: Comm<T>> StealTransport<T, C> for MpiTransport<T> {
                 // outstanding, so `pending_responses` is unchanged either
                 // way (we abandon `victim`'s response by returning).
                 self.work_recv += 1;
-                self.crash_ack_work(comm, m.src, m.meta[0], cx);
+                self.crash_ack_work(comm, m.src, m.meta[0], &m.payload, cx);
                 stack.push_all(&m.payload);
                 cx.res.steals_ok += 1;
                 cx.res.chunks_stolen += (m.payload.len() / stack.k.max(1)) as u64;
@@ -272,7 +299,7 @@ impl<T: Item, C: Comm<T>> StealTransport<T, C> for MpiTransport<T> {
             while let Some(m) = comm.try_recv(Some(TAG_WORK)) {
                 self.pending_responses = self.pending_responses.saturating_sub(1);
                 self.work_recv += 1;
-                self.crash_ack_work(comm, m.src, m.meta[0], cx);
+                self.crash_ack_work(comm, m.src, m.meta[0], &m.payload, cx);
                 stack.push_all(&m.payload);
                 cx.res.steals_ok += 1;
                 cx.res.chunks_stolen += (m.payload.len() / stack.k.max(1)) as u64;

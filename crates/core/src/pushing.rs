@@ -49,6 +49,9 @@ pub struct PushTransport<T> {
     lineage: Lineage<T>,
     /// Whether the run's fault plan has a crash class active.
     crash: bool,
+    /// Service mode's task→epoch extractor (see
+    /// [`StealTransport::arm_service`]); `None` in batch runs.
+    epoch_of: Option<fn(&T) -> u32>,
 }
 
 impl<T: Item> PushTransport<T> {
@@ -64,6 +67,7 @@ impl<T: Item> PushTransport<T> {
             recv: 0,
             lineage: Lineage::new(),
             crash: false,
+            epoch_of: None,
         }
     }
 
@@ -78,7 +82,13 @@ impl<T: Item> PushTransport<T> {
             return;
         }
         while let Some(m) = comm.try_recv(Some(TAG_ACK)) {
-            self.lineage.ack(comm, m.meta[0] as u64);
+            if let Some(grant) = self.lineage.ack(comm, m.meta[0] as u64) {
+                // Receiver's +items preceded this ACK, so the −items close
+                // can only overcount in between (service mode only).
+                if let Some(ep) = self.epoch_of {
+                    cx.svc.bump_items(comm, grant.payload(), ep, -1);
+                }
+            }
         }
         let items = self.lineage.reinject_due(comm, stack, &mut cx.recovery);
         if items > 0 {
@@ -96,6 +106,11 @@ impl<T: Item> PushTransport<T> {
         while let Some(m) = comm.try_recv(Some(TAG_PUSH)) {
             if self.crash {
                 cx.recovery.publish_working(comm);
+                // Absorb-before-ACK (service mode): the pushed items go on
+                // our per-epoch books before the sender may close its own.
+                if let Some(ep) = self.epoch_of {
+                    cx.svc.bump_items(comm, &m.payload, ep, 1);
+                }
                 comm.send(m.src, TAG_ACK, [m.meta[0], 0, 0, 0], &[]);
             }
             cx.log.steal_ok(m.src, 1, comm.now());
@@ -114,6 +129,10 @@ impl<T: Item, C: Comm<T>> StealTransport<T, C> for PushTransport<T> {
 
     fn init(&mut self, _comm: &mut C, cx: &mut Cx) {
         self.crash = cx.recovery.active;
+    }
+
+    fn arm_service(&mut self, epoch_of: fn(&T) -> u32) {
+        self.epoch_of = Some(epoch_of);
     }
 
     fn on_enter_working(&mut self) {

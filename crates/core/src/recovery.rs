@@ -339,6 +339,13 @@ pub struct Grant<T> {
     payload: Vec<T>,
 }
 
+impl<T> Grant<T> {
+    /// The granted items (the payload copy held for re-injection).
+    pub fn payload(&self) -> &[T] {
+        &self.payload
+    }
+}
+
 /// Donor-side registry of in-flight grants for the message transports
 /// (crash mode only). Holds a payload copy per grant so an unacknowledged
 /// chunk can be re-injected; publishes its open-entry count through the
@@ -390,15 +397,17 @@ impl<T: Item> Lineage<T> {
         id
     }
 
-    /// Close the grant `id` on ACK receipt. Unknown ids (duplicated or
-    /// already re-injected grants) are ignored.
-    pub fn ack<C: Comm<T>>(&mut self, comm: &mut C, id: u64) -> bool {
+    /// Close the grant `id` on ACK receipt, returning the closed grant so
+    /// the caller can settle per-epoch accounting against its payload
+    /// (service mode — see `docs/service.md`). Unknown ids (duplicated or
+    /// already re-injected grants) are ignored and return `None`.
+    pub fn ack<C: Comm<T>>(&mut self, comm: &mut C, id: u64) -> Option<Grant<T>> {
         if let Some(pos) = self.open.iter().position(|g| g.id == id) {
-            self.open.remove(pos);
+            let g = self.open.remove(pos);
             comm.add(comm.my_id(), vars::LIN_OUT, -1);
-            true
+            Some(g)
         } else {
-            false
+            None
         }
     }
 
@@ -528,13 +537,14 @@ mod tests {
                 let acked = lin.open(comm, 1, &[1, 2]);
                 let lost = lin.open(comm, 1, &[3, 4, 5]);
                 assert_eq!(lin.len(), 2);
-                assert!(lin.ack(comm, acked));
-                assert!(!lin.ack(comm, acked), "duplicate ACK ignored");
+                let closed = lin.ack(comm, acked).expect("first ACK closes");
+                assert_eq!(closed.payload(), &[1, 2]);
+                assert!(lin.ack(comm, acked).is_none(), "duplicate ACK ignored");
                 assert_eq!(lin.reinject_due(comm, &mut stack, &mut rec), 0);
                 comm.advance_idle(REINJECT_TIMEOUT_NS + 1);
                 assert_eq!(lin.reinject_due(comm, &mut stack, &mut rec), 3);
                 assert!(lin.is_empty());
-                assert!(!lin.ack(comm, lost), "re-injected grant is closed");
+                assert!(lin.ack(comm, lost).is_none(), "re-injected grant is closed");
                 [stack.local_len() as u64, comm.get(0, vars::LIN_OUT) as u64]
             })
             .results;

@@ -60,6 +60,22 @@ pub struct ThreadResult {
     /// crash-fault runs, where the engine folds them into the
     /// conservation-with-multiplicity counters of [`RunReport`].
     pub explored: Vec<u64>,
+    /// Submission epoch of every explored node, parallel to `explored` —
+    /// recorded only on crash-fault *service* runs, where conservation is
+    /// checked per epoch (see [`crate::service`]).
+    pub explored_epoch: Vec<u32>,
+    /// Service mode: epochs this rank's scanner declared quiescent, as
+    /// `(epoch, completion virtual time)`. Empty outside service runs.
+    pub svc_completions: Vec<(u32, u64)>,
+    /// Service mode, rank 0 only: every injected request as
+    /// `(epoch, scheduled arrival ns, actual injection ns)`.
+    pub svc_injections: Vec<(u32, u64, u64)>,
+    /// Service mode: nodes this rank explored per epoch (indexed by epoch;
+    /// ragged — only as long as the highest epoch seen).
+    pub svc_epoch_nodes: Vec<u64>,
+    /// Service mode, rank 0 only: requests whose injection was deferred past
+    /// their scheduled arrival because the admission window was full.
+    pub svc_deferred: u64,
 }
 
 impl ThreadResult {
@@ -88,6 +104,16 @@ impl ThreadResult {
         self.recovered_nodes += o.recovered_nodes;
         self.died |= o.died;
         self.explored.extend(o.explored.iter().copied());
+        self.explored_epoch.extend(o.explored_epoch.iter().copied());
+        self.svc_completions.extend(o.svc_completions.iter().copied());
+        self.svc_injections.extend(o.svc_injections.iter().copied());
+        if self.svc_epoch_nodes.len() < o.svc_epoch_nodes.len() {
+            self.svc_epoch_nodes.resize(o.svc_epoch_nodes.len(), 0);
+        }
+        for (i, &v) in o.svc_epoch_nodes.iter().enumerate() {
+            self.svc_epoch_nodes[i] += v;
+        }
+        self.svc_deferred += o.svc_deferred;
     }
 }
 
@@ -118,6 +144,9 @@ pub struct RunReport {
     pub max_multiplicity: u64,
     /// Ranks whose scheduled crash fired during the run.
     pub deaths: usize,
+    /// Service-mode results (per-request latencies, tail histogram) — `None`
+    /// on batch runs; see [`crate::service::run_service_sim`].
+    pub service: Option<crate::service::ServiceReport>,
     /// Per-thread details.
     pub per_thread: Vec<ThreadResult>,
 }
@@ -251,6 +280,7 @@ mod tests {
             duplicate_nodes: 0,
             max_multiplicity: 1,
             deaths: 0,
+            service: None,
             per_thread: vec![ThreadResult::default(); threads],
         }
     }

@@ -42,6 +42,7 @@ use crate::config::RunConfig;
 use crate::probe::VictimSelector;
 use crate::recovery::Recovery;
 use crate::report::ThreadResult;
+use crate::service::SvcAccount;
 use crate::stack::DfsStack;
 use crate::state::{State, StateClock};
 use crate::taskgen::TaskGen;
@@ -69,6 +70,9 @@ pub struct Cx<'a> {
     /// Crash-recovery state (inert unless the fault plan has a crash class;
     /// see [`crate::recovery`]).
     pub recovery: Recovery,
+    /// Service-mode per-epoch accounting (inert outside
+    /// [`crate::service::run_service_sim`]; see [`crate::service`]).
+    pub svc: SvcAccount,
 }
 
 impl<'a> Cx<'a> {
@@ -81,6 +85,7 @@ impl<'a> Cx<'a> {
             clock: StateClock::new(now),
             log: TraceLog::new(cfg.trace),
             recovery: Recovery::inactive(),
+            svc: SvcAccount::inactive(),
         }
     }
 
@@ -94,7 +99,7 @@ impl<'a> Cx<'a> {
     }
 
     /// Close the books: final state interval, comm statistics, trace events.
-    fn into_result<T: Item, C: Comm<T>>(self, comm: &mut C) -> ThreadResult {
+    pub(crate) fn into_result<T: Item, C: Comm<T>>(self, comm: &mut C) -> ThreadResult {
         let mut res = self.res;
         let (state_ns, transitions) = self.clock.finish(comm.now());
         res.state_ns = state_ns;
@@ -158,6 +163,14 @@ pub trait StealTransport<T: Item, C: Comm<T>> {
     /// One-time protocol setup before the root task is pushed (e.g. arming
     /// the distmem request cell).
     fn init(&mut self, _comm: &mut C, _cx: &mut Cx) {}
+
+    /// Service mode is starting: the driver hands the transport an extractor
+    /// mapping a task to its submission epoch, so crash-mode transfer
+    /// accounting (grant absorption, ACK-closed lineage) can attribute moved
+    /// items to epochs (see `docs/service.md`). Default no-op: the
+    /// shared-region transports move items exactly once even across rank
+    /// death and need no per-transfer accounting.
+    fn arm_service(&mut self, _epoch_of: fn(&T) -> u32) {}
 
     /// Called at each (re-)entry of the Working state (resets poll counters).
     fn on_enter_working(&mut self) {}

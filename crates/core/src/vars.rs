@@ -71,10 +71,33 @@ pub const SPILL_LEN: usize = 16;
 /// wins and re-injects the orphaned work.
 pub const ADOPT: usize = 17;
 
+// ---- Service-mode cells (docs/service.md). Only ever written by
+// service-mode runs (`run_service_sim`); batch runs never touch them.
+
+/// Service shutdown flag: rank 0 broadcasts 1 once every request has been
+/// injected *and* detected complete. Workers poll their own copy locally.
+pub const SVC_TERM: usize = 18;
+/// Admission window: how many epochs may be in flight at once. Epoch `e`
+/// shares its cells with epochs `e ± SVC_WINDOW`, so injection of `e` waits
+/// until `e - SVC_WINDOW` is declared complete.
+pub const SVC_WINDOW: usize = 16;
+/// Rank-0 done board, [`SVC_WINDOW`] cells: scanners write `epoch + 1` into
+/// slot `epoch % SVC_WINDOW` when they declare that epoch quiescent.
+pub const SVC_DONE_BASE: usize = 19;
+/// Per-rank scan assignment board, [`SVC_WINDOW`] cells: rank 0 writes
+/// `epoch + 1` into slot `epoch % SVC_WINDOW` of the scanner rank it
+/// assigns that epoch to (normally `epoch % n`, reassigned on death).
+pub const SVC_ASSIGN_BASE: usize = SVC_DONE_BASE + SVC_WINDOW;
+/// Per-rank per-epoch accounting cells, [`SVC_WINDOW`] slots: slot
+/// `epoch % SVC_WINDOW` holds this rank's packed
+/// `(write-count, biased task deficit)` for that epoch residue class — see
+/// `service::SvcAccount` for the packing and the snapshot argument.
+pub const SVC_SLOT_BASE: usize = SVC_ASSIGN_BASE + SVC_WINDOW;
+
 /// Base of the block of cells reserved for the end-of-run collective
 /// reduction (the `upc_all_reduce` analog that combines per-thread node
 /// counts, as in the original UTS sources).
-pub const COLL_BASE: usize = 18;
+pub const COLL_BASE: usize = SVC_SLOT_BASE + SVC_WINDOW;
 
 /// Number of scalar cells the algorithms need per thread.
 pub const N_SCALARS: usize = COLL_BASE + pgas::collectives::COLLECTIVE_CELLS;
@@ -129,6 +152,7 @@ mod tests {
             SPILL_OFF,
             SPILL_LEN,
             ADOPT,
+            SVC_TERM,
         ];
         for (i, a) in idx.iter().enumerate() {
             assert!(*a < N_SCALARS);
@@ -138,6 +162,12 @@ mod tests {
         }
         assert!(STACK_LOCK != BARRIER_LOCK);
         assert!(STACK_LOCK < N_LOCKS && BARRIER_LOCK < N_LOCKS);
+        // The service boards are disjoint, contiguous, and below the
+        // collective block.
+        assert_eq!(SVC_DONE_BASE, SVC_TERM + 1);
+        assert_eq!(SVC_ASSIGN_BASE, SVC_DONE_BASE + SVC_WINDOW);
+        assert_eq!(SVC_SLOT_BASE, SVC_ASSIGN_BASE + SVC_WINDOW);
+        assert_eq!(COLL_BASE, SVC_SLOT_BASE + SVC_WINDOW);
         // The collective block must not overlap the protocol cells.
         assert!(idx.iter().all(|&i| i < COLL_BASE));
         assert_eq!(COLL_BASE + pgas::collectives::COLLECTIVE_CELLS, N_SCALARS);

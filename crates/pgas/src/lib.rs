@@ -48,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod collectives;
 pub mod comm;
 pub mod fault;
@@ -57,6 +58,7 @@ pub mod native;
 pub mod sim;
 pub mod stats;
 
+pub use arrival::{ArrivalProcess, ArrivalSpec};
 pub use collectives::Collectives;
 pub use comm::{Comm, OpClass, SpaceConfig};
 pub use fault::FaultPlan;

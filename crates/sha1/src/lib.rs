@@ -17,6 +17,7 @@
 //!     "a9993e364706816aba3e25717850c26c9cd0d89d"
 //! );
 //! ```
+#![warn(missing_docs)]
 
 mod engine;
 

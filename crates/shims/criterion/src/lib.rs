@@ -12,6 +12,7 @@
 //! [`Throughput`] was declared. There are no plots, no saved baselines, and
 //! no outlier analysis — this harness exists so `cargo bench` runs offline
 //! and produces comparable numbers across commits on the same machine.
+#![warn(missing_docs)]
 
 use std::time::{Duration, Instant};
 

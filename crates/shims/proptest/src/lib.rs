@@ -19,6 +19,7 @@
 //! - **Deterministic generation.** The RNG is seeded from the test's module
 //!   path and name, so every run explores the same cases. This trades fuzzing
 //!   breadth for reproducible CI — the right trade for an offline container.
+#![warn(missing_docs)]
 
 use std::ops::Range;
 

@@ -21,6 +21,7 @@
 //! let svg = chart.to_svg(640, 400);
 //! assert!(svg.starts_with("<svg"));
 //! ```
+#![warn(missing_docs)]
 
 pub mod chart;
 pub mod csv;

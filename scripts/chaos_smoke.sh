@@ -15,10 +15,16 @@
 #   scripts/chaos_smoke.sh --schedules 200 --tree s --threads 64
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cargo build --release --offline -p uts-bench --bin chaos
+cargo build --release --offline -p uts-bench --bin chaos --bin service
 mkdir -p results/logs
 # Arm the protocol watchdogs even in this release build so a livelocked
 # loop dies with a named panic rather than eating the whole budget.
 UTS_WATCHDOG_RELEASE=1 \
 ./target/release/chaos --schedules 50 --threads 16 --budget-s 120 \
   "$@" | tee results/logs/chaos_smoke.log
+
+# Service-mode smoke (docs/service.md): a low-rate arrival stream on a
+# locked and a message bundle, fault-free and under a crash plan; asserts
+# every request completes and per-epoch conservation holds.
+UTS_WATCHDOG_RELEASE=1 \
+./target/release/service --smoke | tee results/logs/service_smoke.log

@@ -16,6 +16,23 @@ cargo test -q
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
+echo "== doc drift =="
+# Every design note must be reachable from the README, and every concrete
+# file path a doc mentions must exist — stale references fail the build.
+for doc in docs/*.md; do
+  if [ "$doc" != "docs/README.md" ] && ! grep -q "$(basename "$doc")" README.md docs/README.md; then
+    echo "doc drift: $doc is not linked from README.md or docs/README.md" >&2
+    exit 1
+  fi
+done
+paths=$(grep -rhoE '(crates|tests|scripts|examples|src|docs|results)/[A-Za-z0-9_/.-]+\.(rs|sh|csv|md|toml|svg)' docs/*.md README.md DESIGN.md | sort -u)
+for p in $paths; do
+  if [ ! -e "$p" ]; then
+    echo "doc drift: referenced path $p does not exist" >&2
+    exit 1
+  fi
+done
+
 echo "== chaos smoke (fault + crash sweeps) =="
 scripts/chaos_smoke.sh
 

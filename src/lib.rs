@@ -10,6 +10,7 @@
 //! - [`worksteal`] — the paper's five load-balancing algorithms and run harness
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+#![warn(missing_docs)]
 
 pub use mpisim;
 pub use pgas;

@@ -167,3 +167,46 @@ fn latency_spike_during_termination_probe() {
         fault_stress(alg, plan, Some(50_000), 12);
     }
 }
+
+/// Service mode, the nastiest interleaving from `docs/service.md`: a steal
+/// grant issued for epoch-`e` work is stalled in flight past the thief's
+/// timeout, and lands (via `absorb_pending`) while later epochs are already
+/// being injected and even completed — a grant *crossing an epoch boundary*.
+/// The per-epoch deficit cells must keep the in-flight chunk on epoch `e`'s
+/// books (publish-before-migration), so the scanner can neither declare `e`
+/// done over the grant's head nor miscredit its nodes to a newer epoch.
+/// `run_service_sim` asserts per-epoch conservation and completion
+/// internally; here we additionally require that the sweep really produced
+/// (a) timed-out steals whose grants arrived late and (b) epochs whose
+/// lifetimes overlapped.
+#[test]
+fn late_grant_crossing_epoch_boundary_service() {
+    let arrivals = pgas::ArrivalSpec::poisson(19, 12, 50_000.0);
+    let gen = UtsGen::new(TreeSpec::binomial(31, 6, 2, 0.42));
+    let mut late_grants = 0u64;
+    let mut overlaps = 0u64;
+    for i in 0..10u64 {
+        let mut cfg = RunConfig::new(Algorithm::MpiWs, 1);
+        cfg.faults = FaultPlan {
+            stall_per_mille: 500,
+            window_ns: 25_000,
+            spike_per_mille: 0,
+            straggler_per_mille: 0,
+            ..FaultPlan::seeded(0xE60C4u64.wrapping_add(i))
+        };
+        cfg.steal_timeout_ns = Some(10_000);
+        let report =
+            uts_dlb::worksteal::run_service_sim(MachineModel::kittyhawk(), 6, &gen, &cfg, &arrivals);
+        late_grants += report.totals().steal_timeouts;
+        let svc = report.service.expect("service report");
+        assert_eq!(svc.per_request.len(), 12, "case {i}: lost a request");
+        // Epoch e still running when e+1 was injected?
+        for w in svc.per_request.windows(2) {
+            if w[1].injected_ns < w[0].completed_ns {
+                overlaps += 1;
+            }
+        }
+    }
+    assert!(late_grants > 0, "no steal ever timed out — grants never late");
+    assert!(overlaps > 0, "epochs never overlapped — boundary never crossed");
+}
