@@ -42,7 +42,8 @@ fn bench_native_runs(c: &mut Criterion) {
         g.bench_function(format!("{}_p2_ts", alg.label()), |b| {
             let cfg = RunConfig::new(alg, 8);
             b.iter(|| {
-                let r = run_native(MachineModel::smp(), 2, &gen, &cfg);
+                let r = run_native(MachineModel::smp(), 2, &gen, &cfg)
+                    .expect("fault-free config runs natively");
                 assert_eq!(r.total_nodes, p.expected.nodes);
                 black_box(r.makespan_ns)
             })

@@ -20,6 +20,14 @@
 //! - `-M <machine>`: kittyhawk|topsail|altix|smp (default kittyhawk)
 //! - `--native`: run on real OS threads instead of the simulator
 //! - `--expect <nodes>`: fail unless the count matches
+//! - `--expect-distinct <nodes>`: fail unless `total - duplicates` matches
+//!   (the conservation-with-multiplicity check for crash-faulted runs)
+//!
+//! The config passes through [`RunConfig::with_env_chaos`], so `UTS_CHAOS_*`
+//! / `UTS_STEAL_TIMEOUT_NS` environment overrides fault-inject any run —
+//! the chaos soak prints violations as a paste-ready env prefix for this
+//! binary (crash plans need the default sim backend; `--native` refuses
+//! them with a typed error).
 //!
 //! Example (the paper's 10.6-billion-node tree — bring a cluster budget):
 //! `uts_cli -t 0 -b 2000 -q 0.499999995 -m 2 -r 0 -c 8 -T 1024`
@@ -50,6 +58,7 @@ fn main() {
     let machine_name: String = opt(&args, "-M").unwrap_or_else(|| "kittyhawk".to_string());
     let native = args.iter().any(|a| a == "--native");
     let expect: Option<u64> = opt(&args, "--expect");
+    let expect_distinct: Option<u64> = opt(&args, "--expect-distinct");
 
     let spec = match tree_type {
         0 => TreeSpec::binomial(seed, b0 as u32, m, q),
@@ -105,11 +114,20 @@ fn main() {
     );
 
     let gen = UtsGen::new(spec);
-    let mut cfg = RunConfig::new(algorithm, chunk);
+    let mut cfg = RunConfig::new(algorithm, chunk).with_env_chaos();
     cfg.poll_interval = interval;
+    if cfg.faults.is_active() {
+        println!("chaos: {:?}", cfg.faults);
+    }
     let seq_rate = machine.seq_rate();
     let report = if native {
-        run_native(machine, threads, &gen, &cfg)
+        match run_native(machine, threads, &gen, &cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("uts_cli: {e}");
+                std::process::exit(2);
+            }
+        }
     } else {
         run_sim(machine, threads, &gen, &cfg)
     };
@@ -135,5 +153,19 @@ fn main() {
             std::process::exit(1);
         }
         println!("count verified: {expect}");
+    }
+    if let Some(expect) = expect_distinct {
+        let distinct = report.total_nodes - report.duplicate_nodes;
+        if distinct != expect {
+            eprintln!(
+                "FAIL: {} distinct nodes (total {} - dup {}), expected {expect}",
+                distinct, report.total_nodes, report.duplicate_nodes
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "distinct count verified: {expect} (dup={} deaths={} evictions={} rejoins={})",
+            report.duplicate_nodes, report.deaths, report.evictions, report.rejoins
+        );
     }
 }

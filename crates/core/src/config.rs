@@ -116,6 +116,33 @@ pub struct RunConfig {
     pub steal_policy: Option<StealPolicyKind>,
 }
 
+/// A [`RunConfig`] that a backend cannot execute. Returned (rather than
+/// panicking) so harnesses can route the run to the right backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The plan requests crash-class faults (kills, leases, partitions,
+    /// gray stalls, restarts), which only exist in virtual time. The
+    /// native OS-thread backend has no kill schedule, no virtual leases,
+    /// and no deterministic membership protocol; run the config through
+    /// `run_sim` instead.
+    CrashFaultsAreSimOnly,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::CrashFaultsAreSimOnly => write!(
+                f,
+                "crash fault plans are sim-only: virtual-time kills, leases, \
+                 partitions, and restarts have no native analogue; run this \
+                 config through run_sim (the simulator backend) instead"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl RunConfig {
     /// Default configuration with a given algorithm and chunk size.
     pub fn new(algorithm: Algorithm, chunk_size: usize) -> RunConfig {
@@ -144,7 +171,13 @@ impl RunConfig {
     ///   (message loss, duplication, rank death — see `docs/faults.md`) on
     ///   top of whatever plan is installed, enabling it if necessary. A
     ///   kill rate set this way gets [`FaultPlan::crashy`]'s death window
-    ///   unless the plan already has one.
+    ///   unless the plan already has one;
+    /// - `UTS_CHAOS_PARTITION_PM=<0..=1000>` and `UTS_CHAOS_GRAY_PM=<0..=1000>`
+    ///   arm the correlated membership faults (network partition, gray
+    ///   stall — `docs/faults.md` §8) the same way, borrowing
+    ///   [`FaultPlan::partitioned`]'s windows when the plan has none;
+    /// - `UTS_CHAOS_RESTART_NS=<u64>` makes killed ranks restart after that
+    ///   virtual-time delay (0 disables restarts).
     ///
     /// Unset variables leave the config untouched, keeping fault-free runs
     /// bit-identical. A *set but malformed* variable panics with the
@@ -178,6 +211,30 @@ impl RunConfig {
                 self.faults.kill_min_ns = crashy.kill_min_ns;
                 self.faults.kill_span_ns = crashy.kill_span_ns;
             }
+        }
+        if let Some(pm) = parse_env_pm("UTS_CHAOS_PARTITION_PM") {
+            self.faults.partition_per_mille = pm;
+            self.faults.enabled = true;
+            if pm > 0 && self.faults.partition_span_ns == 0 {
+                let part = FaultPlan::partitioned(self.faults.seed);
+                self.faults.partition_min_ns = part.partition_min_ns;
+                self.faults.partition_span_ns = part.partition_span_ns;
+                self.faults.partition_dur_ns = part.partition_dur_ns;
+            }
+        }
+        if let Some(pm) = parse_env_pm("UTS_CHAOS_GRAY_PM") {
+            self.faults.gray_per_mille = pm;
+            self.faults.enabled = true;
+            if pm > 0 && self.faults.gray_span_ns == 0 {
+                let part = FaultPlan::partitioned(self.faults.seed);
+                self.faults.gray_min_ns = part.gray_min_ns;
+                self.faults.gray_span_ns = part.gray_span_ns;
+                self.faults.gray_stall_ns = part.gray_stall_ns;
+            }
+        }
+        if let Some(ns) = parse_env("UTS_CHAOS_RESTART_NS") {
+            self.faults.restart_after_ns = ns;
+            self.faults.enabled = true;
         }
         self
     }
@@ -239,6 +296,9 @@ mod tests {
             "UTS_CHAOS_LOSS_PM",
             "UTS_CHAOS_DUP_PM",
             "UTS_CHAOS_KILL_PM",
+            "UTS_CHAOS_PARTITION_PM",
+            "UTS_CHAOS_GRAY_PM",
+            "UTS_CHAOS_RESTART_NS",
         ];
         let clear = || {
             for v in vars {
@@ -274,6 +334,20 @@ mod tests {
         let cfg = RunConfig::default().with_env_chaos();
         assert!(cfg.faults.crash_active());
         assert_eq!(cfg.faults.dup_per_mille, 10);
+
+        // Membership faults borrow partitioned()'s windows when armed bare.
+        clear();
+        std::env::set_var("UTS_CHAOS_PARTITION_PM", "500");
+        std::env::set_var("UTS_CHAOS_GRAY_PM", "250");
+        std::env::set_var("UTS_CHAOS_RESTART_NS", "200000");
+        let cfg = RunConfig::default().with_env_chaos();
+        assert!(cfg.faults.crash_active());
+        assert_eq!(cfg.faults.partition_per_mille, 500);
+        assert!(cfg.faults.partition_span_ns > 0, "partition window defaulted");
+        assert!(cfg.faults.partition_dur_ns > 0, "partition heals by default");
+        assert_eq!(cfg.faults.gray_per_mille, 250);
+        assert!(cfg.faults.gray_stall_ns > 0, "gray stall defaulted");
+        assert_eq!(cfg.faults.restart_after_ns, 200_000);
 
         // Malformed or out-of-range values panic instead of being swallowed.
         for (var, bad) in [

@@ -9,7 +9,7 @@ use pgas::{Comm, MachineModel};
 
 use pgas::Collectives;
 
-use crate::config::RunConfig;
+use crate::config::{ConfigError, RunConfig};
 use crate::report::{RunReport, ThreadResult};
 use crate::taskgen::TaskGen;
 use crate::vars;
@@ -62,25 +62,34 @@ where
 
 /// Run on real OS threads (the shared-memory setting). The makespan is
 /// wall-clock time.
-pub fn run_native<G>(machine: MachineModel, nthreads: usize, gen: &G, cfg: &RunConfig) -> RunReport
+///
+/// # Errors
+///
+/// [`ConfigError::CrashFaultsAreSimOnly`] if the config arms crash-class
+/// faults (kills, partitions, gray stalls, restarts) — those only exist in
+/// virtual time; run such plans through [`run_sim`].
+pub fn run_native<G>(
+    machine: MachineModel,
+    nthreads: usize,
+    gen: &G,
+    cfg: &RunConfig,
+) -> Result<RunReport, ConfigError>
 where
     G: TaskGen,
 {
     let machine_name = machine.name;
-    assert!(
-        !cfg.faults.crash_active(),
-        "crash fault plans are sim-only (virtual-time kills and leases \
-         have no native analogue); run them through run_sim"
-    );
+    if cfg.faults.crash_active() {
+        return Err(ConfigError::CrashFaultsAreSimOnly);
+    }
     let cluster: NativeCluster<G::Task> = NativeCluster::new(machine, nthreads, vars::space_config());
     let report = cluster.run(|comm| worker(comm, gen, cfg));
-    assemble(
+    Ok(assemble(
         cfg,
         machine_name,
         nthreads,
         report.makespan_ns,
         report.results,
-    )
+    ))
 }
 
 /// Sequential reference traversal of the same task tree; returns
@@ -144,6 +153,8 @@ fn assemble(
         duplicate_nodes,
         max_multiplicity,
         deaths: per_thread.iter().filter(|t| t.died).count(),
+        evictions: per_thread.iter().map(|t| t.evictions).sum(),
+        rejoins: per_thread.iter().map(|t| t.rejoins).sum(),
         service: None,
         per_thread,
     }
@@ -183,13 +194,28 @@ mod tests {
         let gen = UtsGen::new(p.spec);
         for alg in Algorithm::all() {
             let cfg = RunConfig::new(alg, 2);
-            let report = run_native(MachineModel::smp(), 3, &gen, &cfg);
+            let report = run_native(MachineModel::smp(), 3, &gen, &cfg)
+                .expect("fault-free config runs natively");
             assert_eq!(
                 report.total_nodes, p.expected.nodes,
                 "{} lost/duplicated nodes natively",
                 alg.label()
             );
         }
+    }
+
+    /// Crash plans are sim-only: the native backend refuses them with a
+    /// typed error that points at the simulator, instead of panicking.
+    #[test]
+    fn run_native_rejects_crash_plans_with_typed_error() {
+        let p = presets::t_tiny();
+        let gen = UtsGen::new(p.spec);
+        let mut cfg = RunConfig::new(Algorithm::DistMem, 2);
+        cfg.faults = pgas::FaultPlan::crashy(7);
+        let err = run_native(MachineModel::smp(), 2, &gen, &cfg)
+            .expect_err("crash plan must be rejected");
+        assert_eq!(err, crate::config::ConfigError::CrashFaultsAreSimOnly);
+        assert!(err.to_string().contains("run_sim"), "error points at the sim backend");
     }
 
     #[test]

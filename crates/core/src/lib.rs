@@ -57,7 +57,7 @@ pub mod trace;
 pub mod vars;
 pub mod watchdog;
 
-pub use config::{Algorithm, RunConfig};
+pub use config::{Algorithm, ConfigError, RunConfig};
 pub use engine::{run_native, run_sim, seq_run, worker};
 pub use hist::LatencyHistogram;
 pub use probe::{ProbeOrder, VictimSelector};

@@ -86,6 +86,44 @@ impl<T: Item, C: Comm<T>> StealTransport<T, C> for LockedTransport {
         comm.put(comm.my_id(), vars::WORK_AVAIL, 0);
     }
 
+    fn scavenge(
+        &mut self,
+        comm: &mut C,
+        stack: &mut DfsStack<T>,
+        victim: usize,
+        cx: &mut Cx,
+    ) -> u64 {
+        // Reclaim everything the evicted rank still advertises in its
+        // shared region, exactly like a steal of all available chunks —
+        // under the victim's stack lock so this cannot race another thief.
+        // Try-lock, never lock: a zombie frozen *while holding its own
+        // stack lock* would deadlock the executor; if the lock is busy we
+        // leave the work fenced with the zombie, which self-drains it after
+        // the thaw (multiplicity-safe either way).
+        if !comm.try_lock(victim, vars::STACK_LOCK) {
+            return 0;
+        }
+        let avail = comm.get(victim, vars::WORK_AVAIL);
+        if avail <= 0 {
+            comm.unlock(victim, vars::STACK_LOCK);
+            return 0;
+        }
+        let take = avail as usize;
+        let base = comm.get(victim, vars::STEAL_BASE) as usize;
+        comm.put(victim, vars::STEAL_BASE, (base + take) as i64);
+        comm.put(victim, vars::WORK_AVAIL, vars::OUT_OF_WORK);
+        let reserved = comm.get(victim, vars::RESERVED);
+        comm.put(victim, vars::RESERVED, reserved + take as i64);
+        comm.unlock(victim, vars::STACK_LOCK);
+        let mut buf = Vec::with_capacity(take * stack.k);
+        comm.area_read(victim, base * stack.k, take * stack.k, &mut buf);
+        comm.add(victim, vars::ACK, take as i64);
+        let items = buf.len() as u64;
+        stack.push_all(&buf);
+        cx.res.chunks_stolen += take as u64;
+        items
+    }
+
     fn deathbed(&mut self, comm: &mut C, stack: &mut DfsStack<T>, _cx: &mut Cx) {
         // Fold every chunk still advertised in our shared region back into
         // the local deque, under the lock so no thief reserves concurrently,

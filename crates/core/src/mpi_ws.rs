@@ -63,6 +63,12 @@ const TIMEOUT_BACKOFF_MAX_NS: u64 = 512_000;
 /// never acknowledged (lost WORK, lost ACK, dead thief) are re-injected
 /// onto the donor's own stack. None of this issues a single operation
 /// without a crash class active.
+///
+/// Fenced membership (`docs/faults.md` §8): every crash-mode message also
+/// carries the sender's incarnation in `meta[3]`; traffic from an
+/// incarnation below the receiver's admission floor for that rank is
+/// dropped (counted in `fenced_drops`), so an evicted zombie cannot feed
+/// stale grants, requests, or ACKs into the new membership view.
 #[derive(Clone, Debug)]
 pub struct MpiTransport<T> {
     sp: StealPolicyKind,
@@ -111,6 +117,12 @@ impl<T: Item> MpiTransport<T> {
             return;
         }
         while let Some(m) = comm.try_recv(Some(TAG_ACK)) {
+            if !cx.recovery.admit(m.src, m.meta[3]) {
+                // An evicted incarnation's ACK: ignore it, the grant stays
+                // open and re-injects (duplicates are multiplicity-safe).
+                cx.res.fenced_drops += 1;
+                continue;
+            }
             if let Some(grant) = self.lineage.ack(comm, m.meta[0] as u64) {
                 // The thief published its +items before this ACK could be
                 // sent, so closing the donor side now can only overcount,
@@ -146,7 +158,7 @@ impl<T: Item> MpiTransport<T> {
             if let Some(ep) = self.epoch_of {
                 cx.svc.bump_items(comm, payload, ep, 1);
             }
-            comm.send(src, TAG_ACK, [grant_id, 0, 0, 0], &[]);
+            comm.send(src, TAG_ACK, [grant_id, 0, 0, cx.recovery.incarnation()], &[]);
         }
     }
 
@@ -160,8 +172,14 @@ impl<T: Item> MpiTransport<T> {
     {
         self.crash_lineage_service(comm, stack, cx);
         while let Some(req) = comm.try_recv(Some(TAG_REQ)) {
-            if self.crash && cx.recovery.is_dead(req.src) {
-                continue; // a confirmed-dead thief cannot consume a grant
+            if self.crash {
+                if !cx.recovery.admit(req.src, req.meta[3]) {
+                    cx.res.fenced_drops += 1;
+                    continue; // a fenced incarnation's request is void
+                }
+                if cx.recovery.is_gone(req.src) {
+                    continue; // a dead or evicted thief cannot consume a grant
+                }
             }
             let threshold = cx.cfg.release_depth.max(2 * stack.k);
             if stack.local_len() >= threshold {
@@ -175,7 +193,7 @@ impl<T: Item> MpiTransport<T> {
                     // Grant-before-send: the lineage entry (and the LIN_OUT
                     // marker it raises) must exist before the message can.
                     let id = self.lineage.open(comm, req.src, &payload);
-                    [id as i64, 0, 0, 0]
+                    [id as i64, 0, 0, cx.recovery.incarnation()]
                 } else {
                     [0; 4]
                 };
@@ -184,7 +202,12 @@ impl<T: Item> MpiTransport<T> {
                 cx.res.requests_serviced += 1;
                 cx.log.release(comm.now());
             } else {
-                comm.send(req.src, TAG_NOWORK, [0; 4], &[]);
+                let meta = if self.crash {
+                    [0, 0, 0, cx.recovery.incarnation()]
+                } else {
+                    [0; 4]
+                };
+                comm.send(req.src, TAG_NOWORK, meta, &[]);
             }
         }
     }
@@ -221,7 +244,12 @@ impl<T: Item, C: Comm<T>> StealTransport<T, C> for MpiTransport<T> {
         victim: usize,
         cx: &mut Cx,
     ) -> StealOutcome {
-        comm.send(victim, TAG_REQ, [0; 4], &[]);
+        let req_meta = if self.crash {
+            [0, 0, 0, cx.recovery.incarnation()]
+        } else {
+            [0; 4]
+        };
+        comm.send(victim, TAG_REQ, req_meta, &[]);
         // Await WORK or NOWORK, staying responsive to requests and to a
         // termination announcement racing with our request: the ring can
         // complete while our (uncounted) request is in flight, and the
@@ -233,6 +261,14 @@ impl<T: Item, C: Comm<T>> StealTransport<T, C> for MpiTransport<T> {
         loop {
             dog.tick();
             if let Some(m) = comm.try_recv(Some(TAG_WORK)) {
+                if self.crash && !cx.recovery.admit(m.src, m.meta[3]) {
+                    // A fenced incarnation's grant: drop it unconsumed and
+                    // un-ACKed. The zombie's own lineage copy keeps the
+                    // payload alive (it folds on refence), so nothing is
+                    // lost — only possibly duplicated.
+                    cx.res.fenced_drops += 1;
+                    continue;
+                }
                 // Work in hand, whether from `victim` or a late grant from
                 // an earlier timed-out victim. In the late case one
                 // outstanding response was consumed while `victim`'s becomes
@@ -248,6 +284,10 @@ impl<T: Item, C: Comm<T>> StealTransport<T, C> for MpiTransport<T> {
                 return StealOutcome::Got;
             }
             if let Some(m) = comm.try_recv(Some(TAG_NOWORK)) {
+                if self.crash && !cx.recovery.admit(m.src, m.meta[3]) {
+                    cx.res.fenced_drops += 1;
+                    continue;
+                }
                 if m.src != victim {
                     // A late denial from an earlier timed-out victim; keep
                     // waiting for the answer of `victim`.
@@ -298,6 +338,10 @@ impl<T: Item, C: Comm<T>> StealTransport<T, C> for MpiTransport<T> {
             let mut got = false;
             while let Some(m) = comm.try_recv(Some(TAG_WORK)) {
                 self.pending_responses = self.pending_responses.saturating_sub(1);
+                if !cx.recovery.admit(m.src, m.meta[3]) {
+                    cx.res.fenced_drops += 1;
+                    continue; // fenced grant: the zombie's lineage copy survives
+                }
                 self.work_recv += 1;
                 self.crash_ack_work(comm, m.src, m.meta[0], &m.payload, cx);
                 stack.push_all(&m.payload);
@@ -336,6 +380,10 @@ impl<T: Item, C: Comm<T>> StealTransport<T, C> for MpiTransport<T> {
 
     fn ring_counts(&self) -> (i64, i64) {
         (self.work_sent, self.work_recv)
+    }
+
+    fn inflight(&self) -> usize {
+        self.lineage.len()
     }
 
     fn deathbed(&mut self, _comm: &mut C, stack: &mut DfsStack<T>, _cx: &mut Cx) {

@@ -35,6 +35,11 @@ const IDLE_BACKOFF_NS: u64 = 2_000;
 /// Under a crash-fault plan every push is lineage-tracked exactly like an
 /// mpi-ws grant (`docs/faults.md`): the receiver ACKs after marking itself
 /// working, and unacknowledged pushes are re-injected by the sender.
+///
+/// Fenced membership (`docs/faults.md` §8): crash-mode pushes and ACKs
+/// carry the sender's incarnation in `meta[3]`; stale-incarnation traffic
+/// is dropped (counted in `fenced_drops`). A dropped zombie push survives
+/// in the zombie's own lineage copy, which folds back on refence.
 #[derive(Clone, Debug)]
 pub struct PushTransport<T> {
     me: usize,
@@ -82,6 +87,10 @@ impl<T: Item> PushTransport<T> {
             return;
         }
         while let Some(m) = comm.try_recv(Some(TAG_ACK)) {
+            if !cx.recovery.admit(m.src, m.meta[3]) {
+                cx.res.fenced_drops += 1;
+                continue; // fenced ACK: leave the push open to re-inject
+            }
             if let Some(grant) = self.lineage.ack(comm, m.meta[0] as u64) {
                 // Receiver's +items preceded this ACK, so the −items close
                 // can only overcount in between (service mode only).
@@ -105,13 +114,20 @@ impl<T: Item> PushTransport<T> {
         let mut got = 0i64;
         while let Some(m) = comm.try_recv(Some(TAG_PUSH)) {
             if self.crash {
+                if !cx.recovery.admit(m.src, m.meta[3]) {
+                    // A fenced incarnation's push: drop it unconsumed and
+                    // un-ACKed — the zombie's lineage copy keeps the nodes
+                    // alive and folds back when it refences.
+                    cx.res.fenced_drops += 1;
+                    continue;
+                }
                 cx.recovery.publish_working(comm);
                 // Absorb-before-ACK (service mode): the pushed items go on
                 // our per-epoch books before the sender may close its own.
                 if let Some(ep) = self.epoch_of {
                     cx.svc.bump_items(comm, &m.payload, ep, 1);
                 }
-                comm.send(m.src, TAG_ACK, [m.meta[0], 0, 0, 0], &[]);
+                comm.send(m.src, TAG_ACK, [m.meta[0], 0, 0, cx.recovery.incarnation()], &[]);
             }
             cx.log.steal_ok(m.src, 1, comm.now());
             stack.push_all(&m.payload);
@@ -159,17 +175,17 @@ impl<T: Item, C: Comm<T>> StealTransport<T, C> for PushTransport<T> {
         if target >= self.me {
             target += 1;
         }
-        if self.crash && cx.recovery.is_dead(target) {
-            // Never push at a confirmed-dead rank (the chunk would orphan
-            // until the re-injection timeout); keep the nodes and retry the
-            // next time the release condition holds. The rng advanced, so
-            // the next draw targets someone else.
+        if self.crash && cx.recovery.is_gone(target) {
+            // Never push at a confirmed-dead or evicted rank (the chunk
+            // would orphan until the re-injection timeout); keep the nodes
+            // and retry the next time the release condition holds. The rng
+            // advanced, so the next draw targets someone else.
             return false;
         }
         let chunk = stack.take_bottom_chunk();
         let meta = if self.crash {
             let id = self.lineage.open(comm, target, &chunk);
-            [id as i64, 0, 0, 0]
+            [id as i64, 0, 0, cx.recovery.incarnation()]
         } else {
             [0; 4]
         };
@@ -192,6 +208,10 @@ impl<T: Item, C: Comm<T>> StealTransport<T, C> for PushTransport<T> {
 
     fn ring_counts(&self) -> (i64, i64) {
         (self.sent, self.recv)
+    }
+
+    fn inflight(&self) -> usize {
+        self.lineage.len()
     }
 
     fn deathbed(&mut self, _comm: &mut C, stack: &mut DfsStack<T>, _cx: &mut Cx) {

@@ -64,6 +64,16 @@ pub const QUIESCENCE_INTERVAL_NS: u64 = 40_000;
 pub const REINJECT_TIMEOUT_NS: u64 = 400_000;
 /// Idle backoff between crash-mode discovery iterations.
 pub const CRASH_IDLE_BACKOFF_NS: u64 = 3_000;
+/// A suspected rank (stale lease, no deathbed) is put up for quorum
+/// eviction once its suspicion has lasted this long (docs/faults.md §8).
+pub const EVICT_TIMEOUT_NS: u64 = 300_000;
+
+/// Votes needed to evict a rank without its cooperation: a strict majority
+/// of the *total* membership, so two sides of a partition can never both
+/// assemble a quorum.
+pub const fn quorum(n: usize) -> usize {
+    n / 2 + 1
+}
 
 /// Cheap mixing hash for lineage fingerprints (registry metadata only).
 fn mix(mut x: u64) -> u64 {
@@ -98,6 +108,32 @@ pub struct Recovery {
     next_quiesce: u64,
     /// Rank 0 only: epoch vector of the previous all-quiet scan.
     prev_epochs: Option<Vec<i64>>,
+    // ---- Fenced membership (docs/faults.md §8).
+    /// Our current incarnation (0 at startup, bumped on every rejoin).
+    inc: i64,
+    /// We observed our own eviction fence; the driver must fold our held
+    /// work and either rejoin as a new incarnation or retire.
+    fenced: bool,
+    /// Ranks fenced out by quorum eviction (no deathbed observed).
+    evicted: Vec<bool>,
+    /// Minimum admissible incarnation per rank: messages stamped below this
+    /// are zombie traffic and must be dropped.
+    inc_floor: Vec<i64>,
+    /// Last `INCARNATION` value observed per rank (ballot identity).
+    known_inc: Vec<i64>,
+    /// Virtual time each rank's current suspicion started (0 = unsuspected).
+    suspect_since: Vec<u64>,
+    /// Incarnation we last voted to evict, per rank (-1 = no open vote).
+    voted_inc: Vec<i64>,
+    /// Evictions this rank executed whose shared cells still await the
+    /// transport's scavenge pass (drained by the discovery loops).
+    pending_scavenge: Vec<usize>,
+    /// This rank's scheduled post-kill restart, if the plan revives it.
+    restart_at: Option<u64>,
+    /// Evictions this rank executed (copied into the run report).
+    pub evictions: u64,
+    /// Times this rank re-entered as a new incarnation (report counter).
+    pub rejoins: u64,
 }
 
 impl Recovery {
@@ -118,6 +154,17 @@ impl Recovery {
             next_scan: 0,
             next_quiesce: 0,
             prev_epochs: None,
+            inc: 0,
+            fenced: false,
+            evicted: vec![false; if active { n } else { 0 }],
+            inc_floor: vec![0; if active { n } else { 0 }],
+            known_inc: vec![0; if active { n } else { 0 }],
+            suspect_since: vec![0; if active { n } else { 0 }],
+            voted_inc: vec![-1; if active { n } else { 0 }],
+            pending_scavenge: Vec::new(),
+            restart_at: if active { faults.restart_time(me, n) } else { None },
+            evictions: 0,
+            rejoins: 0,
         }
     }
 
@@ -129,6 +176,47 @@ impl Recovery {
     /// Is `rank` confirmed dead?
     pub fn is_dead(&self, rank: usize) -> bool {
         self.active && self.dead[rank]
+    }
+
+    /// Is `rank` out of the membership — confirmed dead *or* evicted by
+    /// quorum? Victim selection, grant targeting, and scanner assignment
+    /// must all skip gone ranks.
+    pub fn is_gone(&self, rank: usize) -> bool {
+        self.active && (self.dead[rank] || self.evicted[rank])
+    }
+
+    /// Was `rank` evicted by quorum (fenced out without a deathbed)?
+    pub fn is_evicted(&self, rank: usize) -> bool {
+        self.active && self.evicted[rank]
+    }
+
+    /// Did this rank observe its own eviction fence? The driver must fold
+    /// every node the old incarnation still holds (transport deathbed hook)
+    /// and then [`Recovery::rejoin`].
+    pub fn is_fenced(&self) -> bool {
+        self.fenced
+    }
+
+    /// This rank's current incarnation (stamped into crash-mode messages).
+    pub fn incarnation(&self) -> i64 {
+        self.inc
+    }
+
+    /// Is a message from `src` stamped with incarnation `inc` admissible,
+    /// or stale traffic from an evicted tenant that fencing must drop?
+    pub fn admit(&self, src: usize, inc: i64) -> bool {
+        !self.active || inc >= self.inc_floor[src]
+    }
+
+    /// Next eviction this rank executed whose shared region still awaits
+    /// the transport scavenge pass.
+    pub fn take_scavenge(&mut self) -> Option<usize> {
+        self.pending_scavenge.pop()
+    }
+
+    /// This rank's scheduled post-kill restart time, if any.
+    pub fn restart_at(&self) -> Option<u64> {
+        self.restart_at
     }
 
     /// Has this rank's scheduled death arrived?
@@ -184,13 +272,34 @@ impl Recovery {
         let now = comm.now();
         if now >= self.next_heartbeat {
             comm.put(self.me, vars::HEARTBEAT, now as i64);
+            // Self-fence check, piggybacked on the lease cadence: a fence
+            // value above our incarnation means a quorum evicted us while
+            // we were stalled (gray failure or partition).
+            if !self.fenced && comm.get(self.me, vars::EVICTED) > self.inc {
+                self.fenced = true;
+            }
             self.next_heartbeat = now + HEARTBEAT_INTERVAL_NS;
         }
     }
 
-    /// Death-detection scan (throttled): a rank whose heartbeat is staler
-    /// than the lease *and* whose `DEAD` flag is raised is confirmed dead.
-    /// Returns a newly confirmed dead rank, if any.
+    /// Membership scan (throttled). For every other rank:
+    ///
+    /// - **Re-admission**: a gone rank whose `INCARNATION` cell moved past
+    ///   our admissibility floor rejoined — clear every verdict about its
+    ///   old tenant.
+    /// - **Eviction observation**: a fence written by another executor
+    ///   marks the rank evicted here too (and raises the floor).
+    /// - **Confirmed death** (unchanged): stale lease *and* `DEAD` raised.
+    /// - **Quorum eviction**: stale lease with *no* deathbed starts a
+    ///   suspicion timer; once it exceeds [`EVICT_TIMEOUT_NS`] we CAS one
+    ///   vote onto the rank's ballot. The voter whose CAS lands exactly the
+    ///   [`quorum`]th vote becomes the eviction executor: it writes the
+    ///   fence, opens a `LIN_OUT` guard, and queues the rank for the
+    ///   transport scavenge pass. A fresh heartbeat withdraws suspicion and
+    ///   clears our ballot contribution.
+    ///
+    /// Returns a newly *confirmed-dead* rank, if any (evictions are
+    /// reported through [`Recovery::take_scavenge`] and the counters).
     pub fn scan<T: Item, C: Comm<T>>(&mut self, comm: &mut C) -> Option<usize> {
         if !self.active {
             return None;
@@ -200,17 +309,102 @@ impl Recovery {
             return None;
         }
         self.next_scan = now + SCAN_INTERVAL_NS;
+        let mut newly_dead = None;
         for r in 0..self.n {
-            if r == self.me || self.dead[r] {
+            if r == self.me {
+                continue;
+            }
+            if self.dead[r] || self.evicted[r] {
+                // Re-admission: only a gone rank can rejoin, and it always
+                // announces itself by bumping its own INCARNATION cell.
+                let inc = comm.get(r, vars::INCARNATION);
+                if inc > self.known_inc[r] && inc >= self.inc_floor[r] {
+                    self.known_inc[r] = inc;
+                    self.dead[r] = false;
+                    self.evicted[r] = false;
+                    self.adopt_done[r] = false;
+                    self.suspect_since[r] = 0;
+                    self.voted_inc[r] = -1;
+                }
+                continue;
+            }
+            // Observe an eviction executed by another rank: the fence holds
+            // `1 + evicted_incarnation`.
+            let fence = comm.get(r, vars::EVICTED);
+            if fence > self.known_inc[r] {
+                self.known_inc[r] = fence - 1;
+                self.inc_floor[r] = fence;
+                self.evicted[r] = true;
+                self.suspect_since[r] = 0;
                 continue;
             }
             let hb = comm.get(r, vars::HEARTBEAT) as u64;
-            if comm.now().saturating_sub(hb) > LEASE_NS && comm.get(r, vars::DEAD) == 1 {
+            if comm.now().saturating_sub(hb) <= LEASE_NS {
+                // Fresh lease: withdraw suspicion and our ballot share.
+                if self.suspect_since[r] != 0 {
+                    self.suspect_since[r] = 0;
+                    if self.voted_inc[r] == self.known_inc[r] {
+                        comm.put(r, vars::EVICT_VOTES, 0);
+                        self.voted_inc[r] = -1;
+                    }
+                }
+                continue;
+            }
+            if comm.get(r, vars::DEAD) == 1 {
                 self.dead[r] = true;
-                return Some(r);
+                self.suspect_since[r] = 0;
+                newly_dead.get_or_insert(r);
+                continue;
+            }
+            // Stale lease, no deathbed: suspected. Time the suspicion, then
+            // vote for eviction.
+            let t = comm.now().max(1);
+            if self.suspect_since[r] == 0 {
+                self.suspect_since[r] = t;
+                continue;
+            }
+            if t.saturating_sub(self.suspect_since[r]) < EVICT_TIMEOUT_NS
+                || self.voted_inc[r] == self.known_inc[r]
+            {
+                continue;
+            }
+            let mut ballot_inc = self.known_inc[r];
+            let mut cur = comm.get(r, vars::EVICT_VOTES);
+            loop {
+                let (cinc, votes) = (cur >> 32, cur & 0xFFFF_FFFF);
+                // A ballot for a newer incarnation than we knew means our
+                // view was stale; join it rather than resetting it.
+                if cinc > ballot_inc {
+                    ballot_inc = cinc;
+                    self.known_inc[r] = cinc;
+                }
+                let new = if cinc == ballot_inc {
+                    (ballot_inc << 32) | (votes + 1)
+                } else {
+                    (ballot_inc << 32) | 1
+                };
+                let seen = comm.cas(r, vars::EVICT_VOTES, cur, new);
+                if seen != cur {
+                    cur = seen;
+                    continue;
+                }
+                self.voted_inc[r] = ballot_inc;
+                if (new & 0xFFFF_FFFF) as usize == quorum(self.n) {
+                    // Our vote completed the quorum: we are the executor.
+                    // Fence first, then guard the scavenge window so
+                    // quiescence waits for the reclaimed work to land.
+                    comm.put(r, vars::EVICTED, 1 + ballot_inc);
+                    self.evicted[r] = true;
+                    self.inc_floor[r] = ballot_inc + 1;
+                    self.suspect_since[r] = 0;
+                    self.evictions += 1;
+                    self.guard_begin(comm);
+                    self.pending_scavenge.push(r);
+                }
+                break;
             }
         }
-        None
+        newly_dead
     }
 
     /// Try to adopt a confirmed-dead rank's spilled work. Exactly one
@@ -273,6 +467,16 @@ impl Recovery {
         self.next_quiesce = now + QUIESCENCE_INTERVAL_NS;
         let mut epochs = vec![0i64; self.n];
         for (r, e) in epochs.iter_mut().enumerate() {
+            if self.evicted[r] {
+                // An evicted tenant is outside the membership: its markers
+                // are unreadable promises of a stalled zombie. Any work it
+                // still holds is fenced with it and self-drained after it
+                // thaws (see docs/faults.md §8). The slot carries the fence
+                // value so a rejoin between the two scans changes the
+                // vector and disarms the double scan.
+                *e = -self.inc_floor[r] - 1;
+                continue;
+            }
             if comm.get(r, vars::Q_OUT) != 1 || comm.get(r, vars::LIN_OUT) != 0 {
                 self.prev_epochs = None;
                 return false;
@@ -318,6 +522,77 @@ impl Recovery {
         comm.put(me, vars::DEAD, 1);
         self.out_published = true;
         items.len() as u64
+    }
+
+    /// Re-enter the computation as a fresh incarnation after observing our
+    /// own eviction. The caller must already have folded everything the old
+    /// incarnation held — shared-region chunks, open lineage grants — into
+    /// the local deque (transport deathbed hook); `has_work` says whether
+    /// that left the deque nonempty. Publishes the bumped `INCARNATION`
+    /// (the re-admission signal survivors watch), clears our ballot,
+    /// refreshes the lease, and re-publishes our quiescence state under the
+    /// new tenancy.
+    pub fn rejoin<T: Item, C: Comm<T>>(&mut self, comm: &mut C, has_work: bool) {
+        if !self.active {
+            return;
+        }
+        let me = self.me;
+        // The new incarnation must clear both our own history and whatever
+        // fence was written against us.
+        self.inc = (self.inc + 1).max(comm.get(me, vars::EVICTED));
+        comm.put(me, vars::INCARNATION, self.inc);
+        comm.put(me, vars::EVICT_VOTES, 0);
+        // The deathbed fold emptied the lineage registry; the in-flight
+        // marker restarts clean.
+        comm.put(me, vars::LIN_OUT, 0);
+        self.fenced = false;
+        self.rejoins += 1;
+        let now = comm.now();
+        comm.put(me, vars::HEARTBEAT, now as i64);
+        self.next_heartbeat = now + HEARTBEAT_INTERVAL_NS;
+        if has_work {
+            self.out_published = true; // force the republish
+            self.publish_working(comm);
+        } else {
+            self.out_published = false;
+            self.publish_out(comm);
+        }
+    }
+
+    /// A killed rank coming back ([`pgas::FaultPlan::restart_after_ns`]):
+    /// reclaim our own spill if no survivor adopted it yet (the `ADOPT` CAS
+    /// race is fair — either way the work survives, plus bounded
+    /// multiplicity on the rare stale-read race), clear the deathbed cells,
+    /// and [`Recovery::rejoin`] as a fresh incarnation. Returns the number
+    /// of self-adopted items.
+    pub fn restart<T: Item, C: Comm<T>>(
+        &mut self,
+        comm: &mut C,
+        stack: &mut DfsStack<T>,
+    ) -> u64 {
+        if !self.active {
+            return 0;
+        }
+        let me = self.me;
+        let mut recovered = 0u64;
+        let slen = comm.get(me, vars::SPILL_LEN);
+        if slen > 0 && comm.cas(me, vars::ADOPT, 0, 1 + me as i64) == 0 {
+            let off = comm.get(me, vars::SPILL_OFF) as usize;
+            let mut buf = Vec::with_capacity(slen as usize);
+            comm.area_read(me, off, slen as usize, &mut buf);
+            stack.push_all(&buf);
+            recovered = slen as u64;
+        }
+        // Whatever the adoption race decided, the new tenant starts with a
+        // clean deathbed.
+        comm.put(me, vars::SPILL_LEN, 0);
+        comm.put(me, vars::ADOPT, 0);
+        comm.put(me, vars::DEAD, 0);
+        // The plan's kill has fired; the restart consumes it.
+        self.kill_at = None;
+        self.restart_at = None;
+        self.rejoin(comm, !stack.is_local_empty());
+        recovered
     }
 }
 
@@ -411,8 +686,9 @@ impl<T: Item> Lineage<T> {
         }
     }
 
-    /// Re-inject grants whose ACK is overdue or whose thief is confirmed
-    /// dead: the payload copy goes back onto the donor's own stack (marking
+    /// Re-inject grants whose ACK is overdue or whose thief is gone
+    /// (confirmed dead or evicted by quorum): the payload copy goes back
+    /// onto the donor's own stack (marking
     /// the donor working before the marker drops). Returns the re-injected
     /// item count (0 when nothing was due).
     pub fn reinject_due<C: Comm<T>>(
@@ -429,7 +705,7 @@ impl<T: Item> Lineage<T> {
         let mut i = 0;
         while i < self.open.len() {
             let due = now.saturating_sub(self.open[i].sent_at) >= REINJECT_TIMEOUT_NS
-                || rec.is_dead(self.open[i].thief);
+                || rec.is_gone(self.open[i].thief);
             if due {
                 let g = self.open.remove(i);
                 stack.push_all(&g.payload);

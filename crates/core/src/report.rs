@@ -56,6 +56,18 @@ pub struct ThreadResult {
     pub recovered_nodes: u64,
     /// Whether this rank's scheduled crash fired (it spilled and exited).
     pub died: bool,
+    /// Quorum evictions this rank executed (its vote completed the quorum;
+    /// docs/faults.md §8). Always 0 without crash faults.
+    pub evictions: u64,
+    /// Times this rank re-entered as a new incarnation (fence rejoin after
+    /// a gray stall / healed partition, or post-kill restart).
+    pub rejoins: u64,
+    /// Nodes this rank reclaimed from evicted ranks' shared regions via the
+    /// transport scavenge pass.
+    pub scavenged_nodes: u64,
+    /// Inbound messages dropped because their incarnation stamp was below
+    /// the sender's admissibility floor (zombie traffic fenced off).
+    pub fenced_drops: u64,
     /// Fingerprints of every node explored, in order — recorded only on
     /// crash-fault runs, where the engine folds them into the
     /// conservation-with-multiplicity counters of [`RunReport`].
@@ -103,6 +115,10 @@ impl ThreadResult {
         self.reduced_total = self.reduced_total.max(o.reduced_total);
         self.recovered_nodes += o.recovered_nodes;
         self.died |= o.died;
+        self.evictions += o.evictions;
+        self.rejoins += o.rejoins;
+        self.scavenged_nodes += o.scavenged_nodes;
+        self.fenced_drops += o.fenced_drops;
         self.explored.extend(o.explored.iter().copied());
         self.explored_epoch.extend(o.explored_epoch.iter().copied());
         self.svc_completions.extend(o.svc_completions.iter().copied());
@@ -144,6 +160,12 @@ pub struct RunReport {
     pub max_multiplicity: u64,
     /// Ranks whose scheduled crash fired during the run.
     pub deaths: usize,
+    /// Quorum evictions executed during the run (one per evicted tenant;
+    /// docs/faults.md §8). Always 0 without crash faults.
+    pub evictions: u64,
+    /// Incarnation rejoins during the run (fence re-entries plus post-kill
+    /// restarts).
+    pub rejoins: u64,
     /// Service-mode results (per-request latencies, tail histogram) — `None`
     /// on batch runs; see [`crate::service::run_service_sim`].
     pub service: Option<crate::service::ServiceReport>,
@@ -280,6 +302,8 @@ mod tests {
             duplicate_nodes: 0,
             max_multiplicity: 1,
             deaths: 0,
+            evictions: 0,
+            rejoins: 0,
             service: None,
             per_thread: vec![ThreadResult::default(); threads],
         }

@@ -106,6 +106,8 @@ impl<'a> Cx<'a> {
         res.transitions = transitions;
         res.comm = comm.stats().clone();
         res.events = self.log.into_events();
+        res.evictions = self.recovery.evictions;
+        res.rejoins = self.recovery.rejoins;
         res
     }
 }
@@ -243,8 +245,37 @@ pub trait StealTransport<T: Item, C: Comm<T>> {
     /// every node the protocol still holds responsibility for — shared-region
     /// chunks no thief has copied out, unacknowledged lineage grants — back
     /// into the local deque, and withdraw from any in-flight request, so the
-    /// generic spill in [`drive`] publishes one complete snapshot.
+    /// generic spill in [`drive`] publishes one complete snapshot. The same
+    /// fold runs when a fenced rank re-enters via
+    /// [`crate::recovery::Recovery::rejoin`].
     fn deathbed(&mut self, _comm: &mut C, _stack: &mut DfsStack<T>, _cx: &mut Cx) {}
+
+    /// This rank just evicted `victim` by quorum (no deathbed): reclaim
+    /// whatever shared-region work the transport can take over *race-free*.
+    /// The locked transport empties the victim's advertised chunks under
+    /// the victim's stack lock; transports whose owner-side bookkeeping a
+    /// resuming zombie could silently race (distmem, the message
+    /// transports) leave the work fenced with the zombie, which self-drains
+    /// it after observing its eviction — multiplicity-safe either way
+    /// (docs/faults.md §8). Scavenged items land on `stack`; returns their
+    /// count.
+    fn scavenge(
+        &mut self,
+        _comm: &mut C,
+        _stack: &mut DfsStack<T>,
+        _victim: usize,
+        _cx: &mut Cx,
+    ) -> u64 {
+        0
+    }
+
+    /// Open lineage grants whose payloads only this rank still holds.
+    /// Crash-mode termination must not let a rank exit while this is
+    /// nonzero (a fenced zombie's re-released work could otherwise be lost
+    /// in a mailbox no one drains); pure local read, no comm operations.
+    fn inflight(&self) -> usize {
+        0
+    }
 
     /// Post-termination teardown (drain mailboxes, conservation asserts),
     /// before the state clock takes its final reading.
@@ -286,18 +317,22 @@ where
         stack.push(gen.root());
     }
 
-    let mut died = false;
     'outer: loop {
         // ------------------------------------------------- Working (Fig. 1)
         cx.enter(comm, State::Working);
         transport.on_enter_working();
+        let mut died = false;
         loop {
             if crash {
                 if cx.recovery.kill_due(comm.now()) {
                     died = true;
-                    break 'outer;
+                    break;
                 }
                 cx.recovery.heartbeat(comm);
+                if cx.recovery.is_fenced() {
+                    refence(comm, &mut stack, &mut transport, &mut cx);
+                    continue 'outer;
+                }
             }
             if stack.is_local_empty() {
                 if transport.refill(comm, &mut stack, &mut cx) {
@@ -319,20 +354,17 @@ where
                 td.on_release(comm);
             }
         }
-        transport.on_out_of_work(comm, &mut stack, &mut cx);
 
-        // ------------------- Work Discovery / Stealing / Termination (Fig. 1)
-        match td.discover(comm, &mut stack, &mut transport, &mut victims, &mut cx) {
-            Discovery::GotWork => continue 'outer,
-            Discovery::Terminated => break 'outer,
-            Discovery::Died => {
-                died = true;
-                break 'outer;
+        if !died {
+            transport.on_out_of_work(comm, &mut stack, &mut cx);
+            // --------------- Work Discovery / Stealing / Termination (Fig. 1)
+            match td.discover(comm, &mut stack, &mut transport, &mut victims, &mut cx) {
+                Discovery::GotWork => continue 'outer,
+                Discovery::Terminated => break 'outer,
+                Discovery::Died => {} // fall through to the deathbed
             }
         }
-    }
 
-    if died {
         // Deathbed: the transport folds every chunk it is still responsible
         // for into the local deque, then the spill publishes the snapshot
         // (coordinates first, DEAD flag last) for a survivor to adopt.
@@ -341,9 +373,45 @@ where
         cx.res.died = true;
         let now = comm.now();
         cx.log.death(spilled, now);
-        return cx.into_result(comm);
+        let Some(at) = cx.recovery.restart_at() else {
+            return cx.into_result(comm);
+        };
+        // The plan revives this rank: sit out the restart delay, reclaim
+        // our own spill if no survivor beat us to it, and rejoin as a new
+        // incarnation.
+        let now = comm.now();
+        if at > now {
+            comm.advance_idle(at - now);
+        }
+        let items = cx.recovery.restart(comm, &mut stack);
+        cx.res.recovered_nodes += items;
+        let now = comm.now();
+        cx.log.rejoin(cx.recovery.incarnation(), items, now);
     }
 
     transport.finish(comm, &mut stack, &mut cx);
     cx.into_result(comm)
+}
+
+/// A rank observed its own eviction fence: fold everything the old
+/// incarnation still holds (the transport deathbed hook covers shared
+/// chunks and open lineage), then re-enter as a new incarnation. Shared by
+/// [`drive`] and the crash-mode discovery loops.
+pub(crate) fn refence<T, C, ST>(
+    comm: &mut C,
+    stack: &mut DfsStack<T>,
+    transport: &mut ST,
+    cx: &mut Cx,
+) where
+    T: Item,
+    C: Comm<T>,
+    ST: StealTransport<T, C>,
+{
+    transport.deathbed(comm, stack, cx);
+    cx.recovery.rejoin(comm, !stack.is_local_empty());
+    if !stack.is_local_empty() {
+        transport.got_work(comm);
+    }
+    let now = comm.now();
+    cx.log.rejoin(cx.recovery.incarnation(), 0, now);
 }

@@ -33,10 +33,11 @@ use crate::watchdog::Watchdog;
 use super::{Cx, Discovery, StealOutcome, StealTransport};
 
 /// One iteration of the crash-mode recovery protocol an idle rank must run:
-/// heartbeat, death-detection scan, orphan adoption, and the quiescence
-/// check (rank 0 scans and broadcasts; everyone else watches its `TERM`
-/// cell). Returns a verdict when the iteration acquired work or proved
-/// termination.
+/// heartbeat (with the piggybacked self-fence check), membership scan
+/// (death confirmation, quorum eviction, re-admission), eviction scavenge,
+/// orphan adoption, and the quiescence check (rank 0 scans and broadcasts;
+/// everyone else watches its `TERM` cell). Returns a verdict when the
+/// iteration acquired work or proved termination.
 fn crash_tick<T, C, ST>(
     comm: &mut C,
     stack: &mut DfsStack<T>,
@@ -49,7 +50,33 @@ where
     ST: StealTransport<T, C>,
 {
     cx.recovery.heartbeat(comm);
+    if cx.recovery.is_fenced() {
+        // Our tenancy was revoked while we were stalled: fold what the old
+        // incarnation held and re-enter as a new one.
+        super::refence(comm, stack, transport, cx);
+        if !stack.is_local_empty() {
+            return Some(Discovery::GotWork);
+        }
+    }
     cx.recovery.scan(comm);
+    // Evictions this rank just executed: reclaim what the transport can
+    // take over race-free, then release the scavenge guard opened at the
+    // quorum vote.
+    while let Some(victim) = cx.recovery.take_scavenge() {
+        let items = transport.scavenge(comm, stack, victim, cx);
+        cx.res.scavenged_nodes += items;
+        let now = comm.now();
+        cx.log.evict(victim, items, now);
+        if items > 0 {
+            // Working-before-unguard (see crate::recovery).
+            cx.recovery.publish_working(comm);
+        }
+        cx.recovery.guard_end(comm);
+        if items > 0 {
+            transport.got_work(comm);
+            return Some(Discovery::GotWork);
+        }
+    }
     if let Some((dead, items)) = cx.recovery.try_adopt(comm, stack) {
         cx.res.recovered_nodes += items;
         let now = comm.now();
@@ -62,7 +89,11 @@ where
     } else {
         cx.recovery.term_seen(comm)
     };
-    done.then_some(Discovery::Terminated)
+    // A rank may not exit while it alone holds open lineage payloads (a
+    // fenced zombie's pushes to already-exited ranks land in mailboxes no
+    // one drains); the periodic lineage service re-injects them within
+    // REINJECT_TIMEOUT_NS and the next iteration finds the work.
+    (done && transport.inflight() == 0).then_some(Discovery::Terminated)
 }
 
 /// Crash-mode work discovery for the probing detectors (§3.1 and §3.3.1
@@ -98,7 +129,7 @@ where
             return Discovery::GotWork;
         }
         for v in victims.cycle() {
-            if cx.recovery.is_dead(v) {
+            if cx.recovery.is_gone(v) {
                 continue;
             }
             cx.res.probes += 1;
@@ -175,7 +206,7 @@ where
             if !cycle.is_empty() {
                 let v = cycle[next];
                 next += 1;
-                if !cx.recovery.is_dead(v) {
+                if !cx.recovery.is_gone(v) {
                     cx.res.probes += 1;
                     cx.enter(comm, State::Stealing);
                     let outcome = transport.steal(comm, stack, v, cx);

@@ -282,11 +282,12 @@ impl<'s> SvcPump<'s> {
         }
     }
 
-    /// The next live rank at or after `start` (wrapping). Rank 0 never dies
-    /// (kills skip it), so this always terminates.
+    /// The next present rank at or after `start` (wrapping): neither dead
+    /// nor evicted by quorum. Rank 0 never dies and is never partitioned
+    /// (kills and cuts skip it), so this always terminates.
     fn next_live(&self, start: usize, recovery: &Recovery) -> usize {
         let mut s = start % self.n;
-        while recovery.is_dead(s) {
+        while recovery.is_gone(s) {
             s = (s + 1) % self.n;
         }
         s
@@ -318,9 +319,14 @@ impl<'s> SvcPump<'s> {
             }
         }
 
-        // Crash mode: reassign scans owned by a rank that died before
-        // declaring. Duplicate declarations (the "dead" rank's declare was
-        // already in flight) are harmless — assembly dedups per epoch.
+        // Crash mode: reassign scans owned by a rank that died — or was
+        // evicted by quorum — before declaring. Duplicate declarations (the
+        // gone rank's declare was already in flight) are harmless — assembly
+        // dedups per epoch. The replacement scanner still reads *every*
+        // rank's deficit cell, including evicted ones: an epoch whose tasks
+        // sit with a fenced zombie simply stays open until the zombie
+        // rejoins and drains them, which is exactly the zero-lost-requests
+        // guarantee.
         if cx.recovery.active {
             cx.recovery.scan(comm);
             for e in self.floor..self.next_arrival {
@@ -328,7 +334,7 @@ impl<'s> SvcPump<'s> {
                 if comm.get(0, vars::SVC_DONE_BASE + w) > e as i64 {
                     continue;
                 }
-                if cx.recovery.is_dead(self.scanner_of[e]) {
+                if cx.recovery.is_gone(self.scanner_of[e]) {
                     let s = self.next_live(e + 1, &cx.recovery);
                     self.scanner_of[e] = s;
                     comm.put(s, vars::SVC_ASSIGN_BASE + w, e as i64 + 1);
@@ -501,7 +507,7 @@ where
         if ST::STEALS {
             if probing {
                 for v in victims.cycle() {
-                    if cx.recovery.is_dead(v) {
+                    if cx.recovery.is_gone(v) {
                         continue;
                     }
                     cx.res.probes += 1;
@@ -536,7 +542,7 @@ where
                 if !cycle.is_empty() {
                     let v = cycle[next];
                     next += 1;
-                    if !cx.recovery.is_dead(v) {
+                    if !cx.recovery.is_gone(v) {
                         cx.res.probes += 1;
                         cx.enter(comm, State::Stealing);
                         let outcome = transport.steal(comm, stack, v, cx);
@@ -560,7 +566,32 @@ where
         }
         if crash {
             cx.recovery.heartbeat(comm);
+            if cx.recovery.is_fenced() {
+                // Evicted while stalled (partition/gray freeze): fold the
+                // old incarnation's holdings and re-enter as a new one.
+                crate::sched::refence(comm, stack, transport, cx);
+                if !stack.is_local_empty() {
+                    return Discovery::GotWork;
+                }
+            }
             cx.recovery.scan(comm);
+            // Evictions this rank just executed by quorum: reclaim what the
+            // transport can take over race-free, then release the scavenge
+            // guard opened at the quorum vote.
+            while let Some(victim) = cx.recovery.take_scavenge() {
+                let items = transport.scavenge(comm, stack, victim, cx);
+                cx.res.scavenged_nodes += items;
+                let now = comm.now();
+                cx.log.evict(victim, items, now);
+                if items > 0 {
+                    cx.recovery.publish_working(comm);
+                }
+                cx.recovery.guard_end(comm);
+                if items > 0 {
+                    transport.got_work(comm);
+                    return Discovery::GotWork;
+                }
+            }
             if let Some((dead, items)) = cx.recovery.try_adopt(comm, stack) {
                 cx.res.recovered_nodes += items;
                 let now = comm.now();
@@ -612,18 +643,22 @@ where
     let mut kids: Vec<G::Task> = Vec::new();
     let mut scratch: Vec<Stamped<G::Task>> = Vec::new();
 
-    let mut died = false;
     'outer: loop {
         // ------------------------------------------------- Working (Fig. 1)
         cx.enter(comm, State::Working);
         transport.on_enter_working();
+        let mut died = false;
         loop {
             if crash {
                 if cx.recovery.kill_due(comm.now()) {
                     died = true;
-                    break 'outer;
+                    break;
                 }
                 cx.recovery.heartbeat(comm);
+                if cx.recovery.is_fenced() {
+                    crate::sched::refence(comm, &mut stack, &mut transport, &mut cx);
+                    continue 'outer;
+                }
             }
             if let Some(p) = pump.as_mut() {
                 p.tick(comm, gen, &mut stack, &mut cx);
@@ -662,36 +697,44 @@ where
             transport.poll(comm, &mut stack, &mut cx);
             transport.maybe_release(comm, &mut stack, &mut cx);
         }
-        transport.on_out_of_work(comm, &mut stack, &mut cx);
-
-        // ------------------------------ Work discovery / service shutdown
-        match svc_discover(
-            comm,
-            &mut stack,
-            &mut transport,
-            &mut victims,
-            &mut cx,
-            &mut pump,
-            &mut scanner,
-            gen,
-            probing,
-        ) {
-            Discovery::GotWork => continue 'outer,
-            Discovery::Terminated => break 'outer,
-            Discovery::Died => {
-                died = true;
-                break 'outer;
+        if !died {
+            transport.on_out_of_work(comm, &mut stack, &mut cx);
+            // ------------------------------ Work discovery / service shutdown
+            match svc_discover(
+                comm,
+                &mut stack,
+                &mut transport,
+                &mut victims,
+                &mut cx,
+                &mut pump,
+                &mut scanner,
+                gen,
+                probing,
+            ) {
+                Discovery::GotWork => continue 'outer,
+                Discovery::Terminated => break 'outer,
+                Discovery::Died => {} // fall through to the deathbed
             }
         }
-    }
 
-    if died {
+        // Deathbed, then (if the plan revives us) sit out the restart delay
+        // and rejoin as a new incarnation — same shape as the batch driver.
         transport.deathbed(comm, &mut stack, &mut cx);
         let spilled = cx.recovery.spill_and_die(comm, &mut stack);
         cx.res.died = true;
         let now = comm.now();
         cx.log.death(spilled, now);
-        return cx.into_result(comm);
+        let Some(at) = cx.recovery.restart_at() else {
+            return cx.into_result(comm);
+        };
+        let now = comm.now();
+        if at > now {
+            comm.advance_idle(at - now);
+        }
+        let items = cx.recovery.restart(comm, &mut stack);
+        cx.res.recovered_nodes += items;
+        let now = comm.now();
+        cx.log.rejoin(cx.recovery.incarnation(), items, now);
     }
 
     transport.finish(comm, &mut stack, &mut cx);
@@ -964,6 +1007,8 @@ fn assemble_service<G: ServiceWorkload>(
         duplicate_nodes: dup_per_epoch.iter().sum(),
         max_multiplicity,
         deaths: per_thread.iter().filter(|t| t.died).count(),
+        evictions: per_thread.iter().map(|t| t.evictions).sum(),
+        rejoins: per_thread.iter().map(|t| t.rejoins).sum(),
         service: Some(ServiceReport {
             requests: n_requests,
             deferred_injections: per_thread.iter().map(|t| t.svc_deferred).sum(),

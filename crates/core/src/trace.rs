@@ -89,6 +89,28 @@ pub enum Event {
         /// Nodes pushed back onto the donor's own stack.
         items: u64,
     },
+    /// This rank executed a quorum eviction (its vote completed the quorum)
+    /// and ran the scavenge pass over the victim's shared region
+    /// (docs/faults.md §8).
+    Evict {
+        /// Time the scavenge pass completed.
+        t_ns: u64,
+        /// The evicted rank.
+        victim: usize,
+        /// Nodes scavenged from the victim's shared region.
+        items: u64,
+    },
+    /// This rank re-entered the membership as a new incarnation (after
+    /// observing its own eviction fence, or restarting after a kill).
+    Rejoin {
+        /// Rejoin time.
+        t_ns: u64,
+        /// The new incarnation number.
+        incarnation: i64,
+        /// Spill items self-adopted on a post-kill restart (0 on a fence
+        /// rejoin — the folded work was never spilled).
+        items: u64,
+    },
 }
 
 /// Per-thread event recorder. When disabled (the default) every call is a
@@ -181,6 +203,26 @@ impl TraceLog {
     pub fn reinject(&mut self, items: u64, t_ns: u64) {
         if self.enabled {
             self.events.push(Event::Reinject { t_ns, items });
+        }
+    }
+
+    /// Record a quorum eviction this rank executed.
+    #[inline]
+    pub fn evict(&mut self, victim: usize, items: u64, t_ns: u64) {
+        if self.enabled {
+            self.events.push(Event::Evict { t_ns, victim, items });
+        }
+    }
+
+    /// Record this rank's re-entry as incarnation `incarnation`.
+    #[inline]
+    pub fn rejoin(&mut self, incarnation: i64, items: u64, t_ns: u64) {
+        if self.enabled {
+            self.events.push(Event::Rejoin {
+                t_ns,
+                incarnation,
+                items,
+            });
         }
     }
 

@@ -71,19 +71,36 @@ pub const SPILL_LEN: usize = 16;
 /// wins and re-injects the orphaned work.
 pub const ADOPT: usize = 17;
 
+// ---- Fenced-membership cells (docs/faults.md §8). Only ever written when
+// the active FaultPlan has a crash class enabled.
+
+/// Incarnation number of the rank currently (or last) operating this
+/// partition: starts at 0, bumped by the owner on every rejoin/restart.
+/// Survivors read it to re-admit an evicted rank under a new incarnation.
+pub const INCARNATION: usize = 18;
+/// Quorum eviction ballot, packed `(suspected_incarnation << 32) | votes`:
+/// suspecting ranks CAS the vote count up; the voter whose CAS reaches
+/// `quorum(n)` becomes the eviction executor.
+pub const EVICT_VOTES: usize = 19;
+/// Eviction fence: `1 + incarnation` of the evicted tenant, written by the
+/// eviction executor *before* scavenging. A zombie resuming from a gray
+/// stall or healed partition reads its own cell, sees its incarnation
+/// fenced, and must re-enter as a new incarnation (or stay dead).
+pub const EVICTED: usize = 20;
+
 // ---- Service-mode cells (docs/service.md). Only ever written by
 // service-mode runs (`run_service_sim`); batch runs never touch them.
 
 /// Service shutdown flag: rank 0 broadcasts 1 once every request has been
 /// injected *and* detected complete. Workers poll their own copy locally.
-pub const SVC_TERM: usize = 18;
+pub const SVC_TERM: usize = 21;
 /// Admission window: how many epochs may be in flight at once. Epoch `e`
 /// shares its cells with epochs `e ± SVC_WINDOW`, so injection of `e` waits
 /// until `e - SVC_WINDOW` is declared complete.
 pub const SVC_WINDOW: usize = 16;
 /// Rank-0 done board, [`SVC_WINDOW`] cells: scanners write `epoch + 1` into
 /// slot `epoch % SVC_WINDOW` when they declare that epoch quiescent.
-pub const SVC_DONE_BASE: usize = 19;
+pub const SVC_DONE_BASE: usize = SVC_TERM + 1;
 /// Per-rank scan assignment board, [`SVC_WINDOW`] cells: rank 0 writes
 /// `epoch + 1` into slot `epoch % SVC_WINDOW` of the scanner rank it
 /// assigns that epoch to (normally `epoch % n`, reassigned on death).
@@ -152,6 +169,9 @@ mod tests {
             SPILL_OFF,
             SPILL_LEN,
             ADOPT,
+            INCARNATION,
+            EVICT_VOTES,
+            EVICTED,
             SVC_TERM,
         ];
         for (i, a) in idx.iter().enumerate() {

@@ -1,0 +1,94 @@
+//! Property tests for the log-bucketed latency histogram (`hist.rs`):
+//! merge is an order-independent exact fold with the empty histogram as
+//! identity, the top octave saturates instead of overflowing at `u64::MAX`,
+//! and quantiles stay monotone through merges.
+
+use proptest::prelude::*;
+use worksteal::LatencyHistogram;
+
+fn hist_of(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Merging with the empty histogram changes nothing, on either side:
+    /// the empty histogram is the identity of the merge monoid.
+    #[test]
+    fn empty_merge_is_identity(samples in prop::collection::vec(any::<u64>(), 0..200)) {
+        let h = hist_of(&samples);
+        let mut left = h.clone();
+        left.merge(&LatencyHistogram::new());
+        prop_assert!(left == h, "h ⊔ ∅ != h");
+        let mut right = LatencyHistogram::new();
+        right.merge(&h);
+        prop_assert!(right == h, "∅ ⊔ h != h");
+    }
+
+    /// Merge is commutative and agrees with recording every sample into a
+    /// single histogram (the property service-mode report assembly relies
+    /// on when folding per-thread histograms in rank order).
+    #[test]
+    fn merge_is_commutative_and_exact(
+        a in prop::collection::vec(any::<u64>(), 0..200),
+        b in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert!(ab == ba, "merge is not commutative");
+        let mut whole = hist_of(&a);
+        for &s in &b {
+            whole.record(s);
+        }
+        prop_assert!(ab == whole, "merge disagrees with one-pass recording");
+    }
+
+    /// The top octave saturates rather than overflowing: samples at and
+    /// near `u64::MAX` share the final bucket, record and merge without
+    /// panicking, and keep the exact extremes.
+    #[test]
+    fn top_bucket_saturates_at_u64_max(
+        near_max in prop::collection::vec((u64::MAX - 1000)..u64::MAX, 1..50),
+    ) {
+        let mut h = hist_of(&near_max);
+        h.record(u64::MAX);
+        prop_assert_eq!(h.max(), u64::MAX);
+        // Everything landed in one (the last) bucket.
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        prop_assert_eq!(buckets.len(), 1, "top-of-range samples split buckets");
+        prop_assert_eq!(buckets[0].1, near_max.len() as u64 + 1);
+        // Quantiles stay inside the recorded extremes (the min/max clamp).
+        prop_assert!(h.quantile(1.0) >= h.min() && h.quantile(1.0) <= h.max());
+        // Self-merge doubles the count and keeps the saturated max.
+        let other = h.clone();
+        h.merge(&other);
+        prop_assert_eq!(h.max(), u64::MAX);
+        prop_assert_eq!(h.count(), 2 * (near_max.len() as u64 + 1));
+    }
+
+    /// Quantiles are monotone in `q` after an arbitrary merge, and pinned
+    /// inside `[min, max]`.
+    #[test]
+    fn quantiles_monotone_after_merge(
+        a in prop::collection::vec(any::<u64>(), 1..200),
+        b in prop::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let mut m = hist_of(&a);
+        m.merge(&hist_of(&b));
+        let mut last = 0u64;
+        for q in [0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+            let v = m.quantile(q);
+            prop_assert!(v >= last, "quantile({}) = {} < {}", q, v, last);
+            prop_assert!(v >= m.min() && v <= m.max());
+            last = v;
+        }
+    }
+}

@@ -39,6 +39,14 @@ const STALL_SALT: u64 = 0xD1B5_4A32_D192_ED03;
 const STRAGGLER_SALT: u64 = 0x8CB9_2BA7_2F3D_8DD7;
 const MSG_FATE_SALT: u64 = 0xA3F1_97C4_5E0B_D621;
 const KILL_SALT: u64 = 0x6D0F_B8E2_41C7_93A5;
+const PARTITION_SALT: u64 = 0x7C1A_2D9E_F0B3_5A47;
+const GRAY_SALT: u64 = 0x4E8D_1B06_C7F2_93D5;
+
+/// Heal time substituted for a partition whose `partition_dur_ns` is 0
+/// ("never heals"). Finite so every run still terminates: the cut-off
+/// minority freezes until this virtual instant (~8.6 virtual seconds),
+/// while the surviving majority evicts it and finishes long before.
+pub const UNHEALED_NS: u64 = 1 << 33;
 
 /// Mix (seed, salt, a, b) into a uniform u64 (splitmix64 finalizer). A pure
 /// function: both conductors evaluate it to the same value at the same
@@ -99,6 +107,42 @@ pub struct FaultPlan {
     /// Width of the virtual-time window over which the death time is
     /// hashed. `0` pins the death exactly at `kill_min_ns`.
     pub kill_span_ns: u64,
+    /// Per-mille probability that this plan arms one **network partition**:
+    /// a hashed minority arc of ranks (never rank 0, at most `(n-1)/2`
+    /// ranks so a live quorum always remains) is cut off for a virtual-time
+    /// interval. Every message crossing the cut shares one fate — dropped —
+    /// unlike the independent per-message [`FaultPlan::msg_fate`], and the
+    /// cut-off ranks freeze (their priced operations complete only after
+    /// the heal, so their writes land post-heal and their leases go stale).
+    /// Requires `n >= 3`.
+    pub partition_per_mille: u32,
+    /// Earliest virtual time at which the partition window can start.
+    pub partition_min_ns: u64,
+    /// Width of the virtual-time window over which the partition start is
+    /// hashed. `0` pins the start exactly at `partition_min_ns`.
+    pub partition_span_ns: u64,
+    /// How long the partition lasts before healing. `0` means "never
+    /// heals" — substituted with [`UNHEALED_NS`] so the run still
+    /// terminates (via quorum eviction of the cut-off ranks).
+    pub partition_dur_ns: u64,
+    /// Per-mille probability that this plan arms one **gray failure**: a
+    /// hashed rank (never rank 0) stalls past its lease — long enough to be
+    /// suspected and evicted — but is *not* dead, and resumes afterwards.
+    pub gray_per_mille: u32,
+    /// Earliest virtual time at which the gray stall can start.
+    pub gray_min_ns: u64,
+    /// Width of the virtual-time window over which the gray stall start is
+    /// hashed. `0` pins the start exactly at `gray_min_ns`.
+    pub gray_span_ns: u64,
+    /// Duration of the gray stall. To actually trigger a quorum eviction it
+    /// must exceed the lease staleness threshold plus the eviction timeout
+    /// (see `crates/core/src/recovery.rs`).
+    pub gray_stall_ns: u64,
+    /// If nonzero, a rank killed by this plan **restarts** this many
+    /// virtual nanoseconds after its death: it re-enters as a fresh
+    /// incarnation, self-adopting its own spill if no survivor beat it to
+    /// the adoption CAS. `0` = killed ranks stay dead (the PR-6 behavior).
+    pub restart_after_ns: u64,
 }
 
 /// The hashed fate of one message send under a [`FaultPlan`] with crash
@@ -131,6 +175,15 @@ impl FaultPlan {
             kill_per_mille: 0,
             kill_min_ns: 0,
             kill_span_ns: 0,
+            partition_per_mille: 0,
+            partition_min_ns: 0,
+            partition_span_ns: 0,
+            partition_dur_ns: 0,
+            gray_per_mille: 0,
+            gray_min_ns: 0,
+            gray_span_ns: 0,
+            gray_stall_ns: 0,
+            restart_after_ns: 0,
         }
     }
 
@@ -155,6 +208,15 @@ impl FaultPlan {
             kill_per_mille: 0,
             kill_min_ns: 0,
             kill_span_ns: 0,
+            partition_per_mille: 0,
+            partition_min_ns: 0,
+            partition_span_ns: 0,
+            partition_dur_ns: 0,
+            gray_per_mille: 0,
+            gray_min_ns: 0,
+            gray_span_ns: 0,
+            gray_stall_ns: 0,
+            restart_after_ns: 0,
         }
     }
 
@@ -169,6 +231,26 @@ impl FaultPlan {
         p.kill_per_mille = 350;
         p.kill_min_ns = 100_000;
         p.kill_span_ns = 2_000_000;
+        p
+    }
+
+    /// [`FaultPlan::crashy`] plus the membership classes: a ~60% chance of
+    /// one healing network partition, a ~40% chance of one gray failure
+    /// long enough to trigger a quorum eviction (lease 150 µs + eviction
+    /// timeout 300 µs, see `crates/core/src/recovery.rs`), and killed ranks
+    /// restarting 300 µs after death. Everything is still a pure function
+    /// of `seed`.
+    pub const fn partitioned(seed: u64) -> FaultPlan {
+        let mut p = FaultPlan::crashy(seed);
+        p.partition_per_mille = 600;
+        p.partition_min_ns = 60_000;
+        p.partition_span_ns = 300_000;
+        p.partition_dur_ns = 900_000;
+        p.gray_per_mille = 400;
+        p.gray_min_ns = 60_000;
+        p.gray_span_ns = 300_000;
+        p.gray_stall_ns = 800_000;
+        p.restart_after_ns = 300_000;
         p
     }
 
@@ -187,7 +269,11 @@ impl FaultPlan {
     #[inline]
     pub fn crash_active(&self) -> bool {
         self.enabled
-            && (self.loss_per_mille > 0 || self.dup_per_mille > 0 || self.kill_per_mille > 0)
+            && (self.loss_per_mille > 0
+                || self.dup_per_mille > 0
+                || self.kill_per_mille > 0
+                || self.partition_per_mille > 0
+                || self.gray_per_mille > 0)
     }
 
     /// The hashed fate of a message sent over `src -> dst` at virtual time
@@ -238,6 +324,118 @@ impl FaultPlan {
             mix(self.seed, KILL_SALT, 2, tid as u64) % self.kill_span_ns
         };
         Some(self.kill_min_ns + jitter)
+    }
+
+    /// The virtual-time interval `[start, end)` during which this plan's
+    /// partition is in force, or `None` if no partition is armed. Partitions
+    /// need `n >= 3` so the un-partitioned side keeps a strict majority
+    /// (quorum `n/2 + 1`) and can evict the cut-off ranks.
+    pub fn partition_window(&self, nthreads: usize) -> Option<(u64, u64)> {
+        if !self.enabled || self.partition_per_mille == 0 || nthreads < 3 {
+            return None;
+        }
+        if mix(self.seed, PARTITION_SALT, 0, nthreads as u64) % 1000
+            >= self.partition_per_mille as u64
+        {
+            return None;
+        }
+        let jitter = if self.partition_span_ns == 0 {
+            0
+        } else {
+            mix(self.seed, PARTITION_SALT, 1, nthreads as u64) % self.partition_span_ns
+        };
+        let start = self.partition_min_ns + jitter;
+        let dur = if self.partition_dur_ns == 0 {
+            UNHEALED_NS
+        } else {
+            self.partition_dur_ns
+        };
+        Some((start, start + dur))
+    }
+
+    /// Is `rank` in the cut-off minority of this plan's partition (if one is
+    /// armed)? The minority is a hashed contiguous arc of the non-zero
+    /// ranks, of hashed size `1 ..= (n-1)/2` — never rank 0, and always a
+    /// strict minority, so the surviving side retains an eviction quorum.
+    pub fn in_partition(&self, rank: usize, nthreads: usize) -> bool {
+        if rank == 0 || self.partition_window(nthreads).is_none() {
+            return false;
+        }
+        let m = nthreads as u64 - 1; // candidate ranks 1..n
+        let max_size = (m / 2).max(1).min(m);
+        let size = 1 + mix(self.seed, PARTITION_SALT, 2, nthreads as u64) % max_size;
+        let offset = mix(self.seed, PARTITION_SALT, 3, nthreads as u64) % m;
+        ((rank as u64 - 1) + m - offset) % m < size
+    }
+
+    /// Is the link `a <-> b` severed at virtual time `now`? True iff the
+    /// partition window contains `now` and exactly one endpoint is in the
+    /// cut-off set: every message crossing the cut shares this one fate
+    /// (dropped), unlike the independent per-message [`FaultPlan::msg_fate`].
+    pub fn link_cut(&self, a: usize, b: usize, now: u64, nthreads: usize) -> bool {
+        match self.partition_window(nthreads) {
+            Some((start, end)) if now >= start && now < end => {
+                self.in_partition(a, nthreads) != self.in_partition(b, nthreads)
+            }
+            _ => false,
+        }
+    }
+
+    /// The rank this plan gray-fails, if any: it stalls past its lease but
+    /// is *not* dead, and resumes after [`FaultPlan::gray_window`] ends.
+    /// Never rank 0.
+    pub fn gray_rank(&self, nthreads: usize) -> Option<usize> {
+        if !self.enabled || self.gray_per_mille == 0 || nthreads < 2 {
+            return None;
+        }
+        if mix(self.seed, GRAY_SALT, 0, nthreads as u64) % 1000 >= self.gray_per_mille as u64 {
+            return None;
+        }
+        Some(1 + (mix(self.seed, GRAY_SALT, 1, nthreads as u64) % (nthreads as u64 - 1)) as usize)
+    }
+
+    /// The virtual-time interval `[start, end)` of this plan's gray stall,
+    /// or `None` if none is armed.
+    pub fn gray_window(&self, nthreads: usize) -> Option<(u64, u64)> {
+        self.gray_rank(nthreads)?;
+        let jitter = if self.gray_span_ns == 0 {
+            0
+        } else {
+            mix(self.seed, GRAY_SALT, 2, nthreads as u64) % self.gray_span_ns
+        };
+        let start = self.gray_min_ns + jitter;
+        Some((start, start + self.gray_stall_ns))
+    }
+
+    /// If `tid` is frozen at virtual time `now` by a correlated fault (it
+    /// is in a cut-off partition minority, or it is the gray-failed rank,
+    /// during the respective window), the virtual time at which it thaws;
+    /// `None` otherwise. A frozen rank's priced operations complete — and
+    /// their memory effects land — only after the thaw, so its writes
+    /// cannot corrupt the surviving side mid-freeze and its lease goes
+    /// stale exactly as a real partitioned/stalled process's would.
+    pub fn freeze_until(&self, tid: usize, now: u64, nthreads: usize) -> Option<u64> {
+        let mut thaw = None;
+        if let Some((start, end)) = self.partition_window(nthreads) {
+            if now >= start && now < end && self.in_partition(tid, nthreads) {
+                thaw = Some(end);
+            }
+        }
+        if let Some((start, end)) = self.gray_window(nthreads) {
+            if now >= start && now < end && self.gray_rank(nthreads) == Some(tid) {
+                thaw = Some(thaw.map_or(end, |t: u64| t.max(end)));
+            }
+        }
+        thaw
+    }
+
+    /// The virtual time at which `tid` restarts after its scheduled death,
+    /// or `None` if it is never killed or the plan has no restart delay.
+    pub fn restart_time(&self, tid: usize, nthreads: usize) -> Option<u64> {
+        if self.restart_after_ns == 0 {
+            return None;
+        }
+        Some(self.kill_time(tid, nthreads)? + self.restart_after_ns)
     }
 
     /// Is `tid` a permanent straggler under this plan?
@@ -351,6 +549,11 @@ mod tests {
         assert_eq!(p.msg_fate(0, 1, 12345), MsgFate::Delivered);
         assert_eq!(p.killed_rank(8), None);
         assert_eq!(p.kill_time(3, 8), None);
+        assert_eq!(p.partition_window(8), None);
+        assert!(!p.link_cut(1, 2, 100_000, 8));
+        assert_eq!(p.gray_rank(8), None);
+        assert_eq!(p.freeze_until(1, 100_000, 8), None);
+        assert_eq!(p.restart_time(1, 8), None);
     }
 
     #[test]
@@ -364,6 +567,10 @@ mod tests {
             assert_eq!(p.msg_fate(0, 1, now), MsgFate::Delivered);
         }
         assert_eq!(p.killed_rank(16), None);
+        assert_eq!(p.partition_window(16), None);
+        assert_eq!(p.gray_rank(16), None);
+        assert_eq!(p.freeze_until(3, 250_000, 16), None);
+        assert_eq!(p.restart_time(3, 16), None);
     }
 
     #[test]
@@ -513,5 +720,106 @@ mod tests {
             }
         }
         assert!(spiked > 0 && clean > 0, "spiked={spiked} clean={clean}");
+    }
+
+    #[test]
+    fn partition_cuts_a_proper_minority_and_heals() {
+        // With partitions certain, some seed must draw a window; rank 0
+        // never joins the minority, the minority is at most (n-1)/2, and
+        // link_cut is symmetric, false inside either side, and false
+        // outside the window.
+        let mut armed = 0;
+        for seed in 0..64u64 {
+            let mut p = FaultPlan::partitioned(seed);
+            p.partition_per_mille = 1000;
+            p.gray_per_mille = 0; // isolate the partition freeze
+            let n = 8;
+            let Some((start, end)) = p.partition_window(n) else {
+                panic!("per_mille=1000 must always arm a partition");
+            };
+            armed += 1;
+            assert!(end > start && end - start == p.partition_dur_ns);
+            assert!(!p.in_partition(0, n), "rank 0 must never be cut off");
+            let minority: Vec<usize> = (0..n).filter(|&r| p.in_partition(r, n)).collect();
+            assert!(!minority.is_empty() && minority.len() <= (n - 1) / 2);
+            let inside = minority[0];
+            let outside = (1..n).find(|&r| !p.in_partition(r, n)).unwrap();
+            let mid = start + (end - start) / 2;
+            assert!(p.link_cut(inside, outside, mid, n));
+            assert!(p.link_cut(outside, inside, mid, n), "cut is symmetric");
+            assert!(!p.link_cut(outside, 0, mid, n), "majority side intact");
+            assert!(!p.link_cut(inside, outside, start.saturating_sub(1), n));
+            assert!(!p.link_cut(inside, outside, end, n), "healed at end");
+            // Members freeze for the window; outsiders never do.
+            assert_eq!(p.freeze_until(inside, mid, n), Some(end));
+            assert_eq!(p.freeze_until(outside, mid, n), None);
+            assert_eq!(p.freeze_until(inside, end, n), None);
+        }
+        assert_eq!(armed, 64);
+    }
+
+    #[test]
+    fn unhealed_partition_uses_sentinel_duration() {
+        let mut p = FaultPlan::partitioned(3);
+        p.partition_per_mille = 1000;
+        p.partition_dur_ns = 0;
+        let (start, end) = p.partition_window(8).unwrap();
+        assert_eq!(end - start, UNHEALED_NS);
+    }
+
+    #[test]
+    fn gray_rank_stalls_past_window_then_resumes() {
+        let mut p = FaultPlan::partitioned(17);
+        p.partition_per_mille = 0;
+        p.gray_per_mille = 1000;
+        let n = 8;
+        let g = p.gray_rank(n).expect("per_mille=1000 must arm a gray rank");
+        assert!(g >= 1 && g < n, "never rank 0");
+        let (start, end) = p.gray_window(n).unwrap();
+        assert_eq!(end - start, p.gray_stall_ns);
+        let mid = start + 1;
+        assert_eq!(p.freeze_until(g, mid, n), Some(end));
+        let healthy = (1..n).find(|&r| r != g).unwrap();
+        assert_eq!(p.freeze_until(healthy, mid, n), None);
+        assert_eq!(p.freeze_until(g, end, n), None, "resumes after window");
+        // Gray failure is a stall, not a cut: links stay up.
+        assert!(!p.link_cut(g, healthy, mid, n));
+    }
+
+    #[test]
+    fn restart_follows_kill_by_fixed_delay() {
+        let p = FaultPlan::partitioned(29);
+        let n = 8;
+        assert!(p.crash_active());
+        if let Some(victim) = p.killed_rank(n) {
+            let kill = p.kill_time(victim, n).unwrap();
+            assert_eq!(p.restart_time(victim, n), Some(kill + p.restart_after_ns));
+        }
+        // A rank that is never killed never restarts.
+        assert_eq!(p.restart_time(0, n), None);
+        // And with restarts disarmed, kills stay permanent.
+        let mut q = p;
+        q.restart_after_ns = 0;
+        if let Some(victim) = q.killed_rank(n) {
+            assert_eq!(q.restart_time(victim, n), None);
+        }
+    }
+
+    #[test]
+    fn overlapping_partition_and_gray_freeze_to_the_later_thaw() {
+        let mut p = FaultPlan::partitioned(1);
+        p.partition_per_mille = 1000;
+        p.gray_per_mille = 1000;
+        let n = 9;
+        let (ps, pe) = p.partition_window(n).unwrap();
+        let (gs, ge) = p.gray_window(n).unwrap();
+        let g = p.gray_rank(n).unwrap();
+        if p.in_partition(g, n) {
+            let lo = ps.max(gs);
+            let hi = pe.min(ge);
+            if lo < hi {
+                assert_eq!(p.freeze_until(g, lo, n), Some(pe.max(ge)));
+            }
+        }
     }
 }

@@ -692,7 +692,14 @@ impl<T: Item> SimComm<T> {
             // cost is added) — a pure function of state both conductors
             // share bit-for-bit.
             let issue = self.local_clock + self.pending_work;
-            let adj = self.faults.op_cost(self.tid, peer, class, cost, issue);
+            let mut adj = self.faults.op_cost(self.tid, peer, class, cost, issue);
+            // Correlated freezes (partition membership, gray stall): the op
+            // is held until the thaw and only then runs at its normal cost,
+            // so its memory effect lands after the heal. Monotone: thaw >
+            // issue whenever Some, so adj never shrinks below base cost.
+            if let Some(thaw) = self.faults.freeze_until(self.tid, issue, self.nthreads) {
+                adj = adj.max(thaw.saturating_sub(issue) + cost);
+            }
             self.stats.fault_ns += adj - cost;
             cost = adj;
         }
@@ -964,13 +971,21 @@ impl<T: Item> Comm<T> for SimComm<T> {
             let adj = self.faults.flight_ns(self.tid, dst, flight, self.now());
             self.stats.fault_ns += adj - flight;
             flight = adj;
-            // Crash faults: the send is priced either way, but its effect
-            // may be dropped or land twice (second copy at double flight).
-            fate = self.faults.msg_fate(self.tid, dst, self.now());
-            match fate {
-                MsgFate::Lost => self.stats.msgs_lost += 1,
-                MsgFate::Duplicated => self.stats.msgs_duplicated += 1,
-                MsgFate::Delivered => {}
+            // A partition cut is a *correlated* fate: every message across
+            // the cut is lost for the whole window, overriding the
+            // independent per-message fate draw below.
+            if self.faults.link_cut(self.tid, dst, self.now(), self.nthreads) {
+                fate = MsgFate::Lost;
+                self.stats.msgs_cut += 1;
+            } else {
+                // Crash faults: the send is priced either way, but its effect
+                // may be dropped or land twice (second copy at double flight).
+                fate = self.faults.msg_fate(self.tid, dst, self.now());
+                match fate {
+                    MsgFate::Lost => self.stats.msgs_lost += 1,
+                    MsgFate::Duplicated => self.stats.msgs_duplicated += 1,
+                    MsgFate::Delivered => {}
+                }
             }
         }
         let overhead = self.machine().msg_overhead_ns;

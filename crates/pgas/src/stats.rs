@@ -45,6 +45,10 @@ pub struct CommStats {
     /// Sends the active [`crate::FaultPlan`] delivered twice (always zero
     /// without crash faults).
     pub msgs_duplicated: u64,
+    /// Sends dropped because a network partition in the active
+    /// [`crate::FaultPlan`] cut the sender/receiver link (always zero
+    /// without partition faults).
+    pub msgs_cut: u64,
     /// `poll()` invocations.
     pub polls: u64,
     /// Nanoseconds charged to communication (everything except `work`).
@@ -88,6 +92,7 @@ impl CommStats {
         self.msg_items_sent += other.msg_items_sent;
         self.msgs_lost += other.msgs_lost;
         self.msgs_duplicated += other.msgs_duplicated;
+        self.msgs_cut += other.msgs_cut;
         self.polls += other.polls;
         self.comm_ns += other.comm_ns;
         self.work_ns += other.work_ns;

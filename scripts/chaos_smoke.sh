@@ -4,12 +4,16 @@
 # Runs a bounded sweep of seeded fault schedules across all five paper
 # algorithms on T-tiny with the steal timeout armed, then a crash-class
 # sweep (message loss/duplication + rank death) checked for conservation
-# with multiplicity. Each seeded run must terminate with the exact
-# sequential node count; the binary exits nonzero on any conservation or
-# termination violation, printing the offending algorithm and full
-# FaultPlan (seed included) for replay. A blown wall-clock budget also
-# fails (livelock). Sized for a tier-1 time budget: the default
-# 50+50-schedule sweep completes in a few seconds.
+# with multiplicity, then a membership sweep (docs/faults.md §8: healing
+# partitions, gray stalls, kills, restarts) checked for conservation with
+# multiplicity in batch mode, bit-identity on a reference-conductor
+# subset, and zero lost requests in service mode. Each seeded run must
+# terminate with the exact sequential node count; the binary exits
+# nonzero on any conservation or termination violation, printing the
+# offending algorithm and full FaultPlan for replay — membership
+# violations come with a paste-ready UTS_CHAOS_* env line for uts_cli. A
+# blown wall-clock budget also fails (livelock). Sized for a tier-1 time
+# budget: the default 50+50+50-schedule sweep completes in a few seconds.
 #
 # Extra arguments are passed through to the chaos binary, e.g.:
 #   scripts/chaos_smoke.sh --schedules 200 --tree s --threads 64
@@ -20,7 +24,8 @@ mkdir -p results/logs
 # Arm the protocol watchdogs even in this release build so a livelocked
 # loop dies with a named panic rather than eating the whole budget.
 UTS_WATCHDOG_RELEASE=1 \
-./target/release/chaos --schedules 50 --threads 16 --budget-s 120 \
+./target/release/chaos --schedules 50 --membership-schedules 50 \
+  --threads 16 --budget-s 120 \
   "$@" | tee results/logs/chaos_smoke.log
 
 # Service-mode smoke (docs/service.md): a low-rate arrival stream on a

@@ -178,6 +178,90 @@ fn crash_runs_agree_across_conductors() {
     }
 }
 
+/// Derive a deterministic *membership* plan from `i`: a healing partition,
+/// a gray stall, a guaranteed kill with restart — the full §8 fault zoo —
+/// on top of message loss/duplication.
+fn membership_plan(i: u64) -> FaultPlan {
+    let r = i.wrapping_mul(0xA24B_AED4_963E_E407).rotate_left(31);
+    let mut p = FaultPlan {
+        loss_per_mille: 10 + (r % 30) as u32,
+        dup_per_mille: 10 + ((r >> 8) % 30) as u32,
+        kill_per_mille: if i % 2 == 0 { 1000 } else { 0 },
+        restart_after_ns: if i % 3 == 0 { 0 } else { 250_000 },
+        ..FaultPlan::partitioned(r)
+    };
+    p.partition_per_mille = 1000; // every plan carries a (healing) partition
+    p.partition_min_ns = 30_000 + (r >> 16) % 60_000;
+    p.gray_per_mille = if i % 2 == 1 { 1000 } else { 0 };
+    p
+}
+
+/// Conservation with multiplicity across the full membership fault zoo
+/// (docs/faults.md §8): healing partitions, gray stalls, kills, restarts —
+/// every node explored at least once, every re-exploration accounted.
+#[test]
+fn membership_faults_conserve_with_multiplicity() {
+    let p = presets::t_tiny();
+    let gen = UtsGen::new(p.spec);
+    let (expect, _) = seq_run(&gen);
+    let mut evictions = 0u64;
+    let mut rejoins = 0u64;
+    for alg in Algorithm::paper_set() {
+        for i in 0..6u64 {
+            let mut cfg = RunConfig::new(alg, 4);
+            cfg.faults = membership_plan(i);
+            cfg.steal_timeout_ns = Some(30_000);
+            let report = run_sim(MachineModel::kittyhawk(), 8, &gen, &cfg);
+            assert_eq!(
+                report.total_nodes - report.duplicate_nodes,
+                expect,
+                "{} plan {i} ({:?}) lost nodes: total={} dup={} deaths={} \
+                 evictions={} rejoins={}",
+                alg.label(),
+                cfg.faults,
+                report.total_nodes,
+                report.duplicate_nodes,
+                report.deaths,
+                report.evictions,
+                report.rejoins
+            );
+            evictions += report.evictions;
+            rejoins += report.rejoins;
+        }
+    }
+    assert!(evictions > 0, "no plan in the sweep ever drove an eviction");
+    assert!(rejoins > 0, "no evicted or restarted rank ever rejoined");
+}
+
+/// A membership-faulted run — partition freezes, evictions, fence rejoins,
+/// restarts — is bit-identical across the fast fiber conductor and the
+/// reference OS-thread conductor.
+#[test]
+fn membership_runs_agree_across_conductors() {
+    let p = presets::t_tiny();
+    let gen = UtsGen::new(p.spec);
+    for alg in Algorithm::paper_set() {
+        let mut fast = RunConfig::new(alg, 2);
+        fast.faults = membership_plan(1);
+        fast.steal_timeout_ns = Some(30_000);
+        let mut reference = fast;
+        reference.sim_lookahead = false;
+        let a = run_sim(MachineModel::kittyhawk(), 6, &gen, &fast);
+        let b = run_sim(MachineModel::kittyhawk(), 6, &gen, &reference);
+        assert_eq!(a.makespan_ns, b.makespan_ns, "{}", alg.label());
+        assert_eq!(a.deaths, b.deaths, "{}", alg.label());
+        assert_eq!(a.evictions, b.evictions, "{}", alg.label());
+        assert_eq!(a.rejoins, b.rejoins, "{}", alg.label());
+        assert_eq!(a.recovered_nodes, b.recovered_nodes, "{}", alg.label());
+        assert_eq!(a.duplicate_nodes, b.duplicate_nodes, "{}", alg.label());
+        for (t, (x, y)) in a.per_thread.iter().zip(&b.per_thread).enumerate() {
+            assert_eq!(x.nodes, y.nodes, "{} thread {t}", alg.label());
+            assert_eq!(x.died, y.died, "{} thread {t}", alg.label());
+            assert_eq!(x.comm, y.comm, "{} thread {t}", alg.label());
+        }
+    }
+}
+
 /// A *faulted* run is itself deterministic and conductor-independent: the
 /// fast fiber conductor and the reference OS-thread conductor agree on
 /// every virtual result under an active fault plan.

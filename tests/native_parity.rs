@@ -13,7 +13,8 @@ fn all_algorithms_conserve_natively() {
     for alg in Algorithm::all() {
         for threads in [1usize, 2, 4] {
             let cfg = RunConfig::new(alg, 2);
-            let report = run_native(MachineModel::smp(), threads, &gen, &cfg);
+            let report = run_native(MachineModel::smp(), threads, &gen, &cfg)
+                .expect("fault-free config runs natively");
             assert_eq!(
                 report.total_nodes,
                 p.expected.nodes,
@@ -29,7 +30,8 @@ fn native_mid_size_distmem() {
     let p = presets::t_s();
     let gen = UtsGen::new(p.spec);
     let cfg = RunConfig::new(Algorithm::DistMem, 8);
-    let report = run_native(MachineModel::smp(), 4, &gen, &cfg);
+    let report = run_native(MachineModel::smp(), 4, &gen, &cfg)
+        .expect("fault-free config runs natively");
     assert_eq!(report.total_nodes, p.expected.nodes);
     // Wall-clock makespan and per-thread clocks must be sane.
     assert!(report.makespan_ns > 0);
@@ -44,6 +46,7 @@ fn sim_native_logical_agreement() {
     let gen = UtsGen::new(p.spec);
     let cfg = RunConfig::new(Algorithm::Term, 2);
     let sim = run_sim(MachineModel::smp(), 3, &gen, &cfg);
-    let native = run_native(MachineModel::smp(), 3, &gen, &cfg);
+    let native = run_native(MachineModel::smp(), 3, &gen, &cfg)
+        .expect("fault-free config runs natively");
     assert_eq!(sim.total_nodes, native.total_nodes);
 }

@@ -94,6 +94,55 @@ fn crash_chaos_service_conserves_every_epoch() {
     );
 }
 
+/// Membership sweep (docs/faults.md §8): *healing* partitions, gray stalls,
+/// kills and restarts against the open-loop service — through partition →
+/// quorum eviction → heal → fence rejoin, every request must still be
+/// injected, completed, and conserved per epoch (the assembly panics on any
+/// lost epoch or conservation break). Service sweeps use healing partitions
+/// only: an epoch whose tasks sit with a frozen zombie stays open until the
+/// zombie thaws and drains them, so an un-healed partition would correctly
+/// keep its epoch open forever. The sweep must actually drive the fenced
+/// membership machinery at least once.
+#[test]
+fn membership_chaos_service_loses_no_requests() {
+    let arrivals = ArrivalSpec::poisson(13, 8, 12_000.0);
+    let mut evictions = 0u64;
+    let mut rejoins = 0u64;
+    for seed in 0..6u64 {
+        let mut plan = FaultPlan {
+            partition_per_mille: 1000,
+            partition_min_ns: 30_000,
+            partition_span_ns: 120_000,
+            kill_per_mille: if seed % 2 == 0 { 1000 } else { 0 },
+            restart_after_ns: 250_000,
+            ..FaultPlan::partitioned(seed)
+        };
+        plan.gray_per_mille = if seed % 2 == 1 { 1000 } else { 0 };
+        for alg in [Algorithm::DistMem, Algorithm::MpiWs, Algorithm::Pushing] {
+            let mut cfg = RunConfig::new(alg, 2);
+            cfg.faults = plan;
+            cfg.steal_timeout_ns = Some(30_000);
+            let report =
+                run_service_sim(MachineModel::smp(), 6, &small_gen(), &cfg, &arrivals);
+            let svc = report.service.as_ref().expect("service report");
+            assert_eq!(svc.requests, 8, "{} seed {seed}", alg.label());
+            assert_eq!(
+                svc.per_request.len(),
+                8,
+                "{} seed {seed}: lost a request",
+                alg.label()
+            );
+            evictions += report.evictions;
+            rejoins += report.rejoins;
+        }
+    }
+    assert!(
+        evictions > 0,
+        "no membership schedule drove a quorum eviction — sweep too tame"
+    );
+    assert!(rejoins > 0, "no rank ever rejoined — fence/restart path untested");
+}
+
 /// Crash service runs are deterministic too: same plan, same report.
 #[test]
 fn crash_service_is_deterministic() {

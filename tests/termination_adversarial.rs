@@ -168,6 +168,62 @@ fn latency_spike_during_termination_probe() {
     }
 }
 
+/// Fenced-membership regression (docs/faults.md §8): an *un-healed* network
+/// partition (`partition_dur_ns = 0`, the forever sentinel) freezes a
+/// minority of ranks for the rest of the run. They never run a deathbed,
+/// never spill, never cooperate — before quorum eviction this wedged the
+/// quiescence scan whenever a frozen rank was still on the books as
+/// working. Now the live majority votes the silent ranks out after
+/// `EVICT_TIMEOUT_NS` and terminates *without* their cooperation; each
+/// frozen zombie self-drains whatever it still holds after its
+/// (post-termination) thaw, so conservation with multiplicity holds even
+/// though termination was declared over its head.
+#[test]
+fn unhealed_partition_terminates_via_quorum_eviction() {
+    let p = uts_tree::presets::t_tiny();
+    let gen = UtsGen::new(p.spec);
+    let (expect, _) = seq_run(&gen);
+    let mut evictions = 0u64;
+    for alg in [
+        Algorithm::Term,
+        Algorithm::DistMem,
+        Algorithm::MpiWs,
+        Algorithm::Pushing,
+    ] {
+        for i in 0..4u64 {
+            let mut cfg = RunConfig::new(alg, 2);
+            cfg.faults = FaultPlan {
+                partition_per_mille: 1000, // every seed carries a partition
+                partition_min_ns: 20_000,
+                partition_span_ns: 150_000,
+                partition_dur_ns: 0, // never heals
+                kill_per_mille: 0,   // isolate the partition: no deaths
+                ..FaultPlan::partitioned(0x9A27_17E5u64.wrapping_add(i))
+            };
+            cfg.faults.gray_per_mille = 0;
+            cfg.steal_timeout_ns = Some(30_000);
+            let report = run_sim(MachineModel::kittyhawk(), 6, &gen, &cfg);
+            assert_eq!(
+                report.total_nodes - report.duplicate_nodes,
+                expect,
+                "{} case {i}: lost nodes across an un-healed partition \
+                 (total={} dup={} evictions={})",
+                alg.label(),
+                report.total_nodes,
+                report.duplicate_nodes,
+                report.evictions
+            );
+            assert_eq!(report.deaths, 0, "{} case {i}: nobody dies", alg.label());
+            evictions += report.evictions;
+        }
+    }
+    assert!(
+        evictions > 0,
+        "no quorum eviction fired across the sweep — the un-healed \
+         partition never blocked termination"
+    );
+}
+
 /// Service mode, the nastiest interleaving from `docs/service.md`: a steal
 /// grant issued for epoch-`e` work is stalled in flight past the thief's
 /// timeout, and lands (via `absorb_pending`) while later epochs are already

@@ -64,7 +64,9 @@ fn event_timestamps_monotone_per_thread() {
                 | Event::Release { t_ns }
                 | Event::Death { t_ns, .. }
                 | Event::Adopt { t_ns, .. }
-                | Event::Reinject { t_ns, .. } => *t_ns,
+                | Event::Reinject { t_ns, .. }
+                | Event::Evict { t_ns, .. }
+                | Event::Rejoin { t_ns, .. } => *t_ns,
             };
             assert!(t >= last, "event time went backwards");
             last = t;
