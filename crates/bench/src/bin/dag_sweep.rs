@@ -1,0 +1,234 @@
+//! DAG-vs-tree policy sweep with per-row theory checks (EXPERIMENTS.md E18).
+//!
+//! Runs the DAG workload families (`worksteal::workload`) and a binomial
+//! tree baseline through one policy bundle per transport — locked,
+//! one-sided distmem, message passing, plus hierarchical victims — at two
+//! thread counts, and checks **every row** against the steal bound
+//! (`successful_steals ≤ factor · p · D`, arxiv 1706.03184) and
+//! conservation before it is written. A violated bound aborts the run:
+//! the CSV never contains a row the theory harness rejected.
+//!
+//! Usage:
+//!   cargo run --release -p uts-bench --bin dag_sweep
+//!     [--tree s] [--chunk 4] [--machine kittyhawk] [--smoke]
+//!
+//! `--smoke` shrinks every workload and runs p=8 only, for CI
+//! (`scripts/chaos_smoke.sh`); smoke runs never overwrite
+//! `results/dag_sweep.csv`.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use pgas::MachineModel;
+use uts_bench::harness::{arg, flag, machine_by_name, preset_by_name};
+use worksteal::state::State;
+use worksteal::theory::{self, DEFAULT_STEAL_FACTOR};
+use worksteal::{
+    run_sim, Algorithm, DagWorkload, ForkJoin, RandomLayered, RunConfig, TaskGen, UtsGen,
+    Wavefront,
+};
+
+/// What distinguishes one sweep row besides the (algorithm, threads) cell.
+struct Point<'a> {
+    /// Workload label for the CSV and the table.
+    workload: &'a str,
+    /// Sequential task/node count (conservation target).
+    expected: u64,
+    /// Critical-path length `D` for the steal bound.
+    depth: u64,
+}
+
+/// Run one cell, theory-check it, append the CSV row. Returns the cell's
+/// steals/bound ratio so `main` can report how much slack the default
+/// factor has left (calibration data for `DEFAULT_STEAL_FACTOR`).
+fn sweep<G: TaskGen>(
+    machine: &MachineModel,
+    threads: usize,
+    gen: &G,
+    alg: Algorithm,
+    chunk: usize,
+    point: &Point,
+    csv: &mut String,
+) -> f64 {
+    let mut cfg = RunConfig::new(alg, chunk).with_env_chaos();
+    if std::env::var("UTS_SIM_REFERENCE").is_ok_and(|v| v == "1") {
+        cfg.sim_lookahead = false;
+    }
+    let t0 = Instant::now();
+    let report = run_sim(machine.clone(), threads, gen, &cfg);
+    let t_real = t0.elapsed().as_secs_f64();
+    let summary = theory::check_run(
+        &report,
+        point.expected,
+        point.depth,
+        DEFAULT_STEAL_FACTOR,
+        cfg.faults.crash_active(),
+    )
+    .unwrap_or_else(|e| {
+        panic!(
+            "{}/{}/p={threads}: {e}",
+            point.workload,
+            alg.label()
+        )
+    });
+    let t_virtual = report.makespan_ns as f64 / 1e9;
+    let mnps = report.nodes_per_sec() / 1e6;
+    let working = report.state_fraction(State::Working);
+    println!(
+        "{:<12} {:<16} {:>4} {:>2} {:>9} {:>8} {:>10.4} {:>9.3} {:>9} {:>9} {:>10} {:>6.1} {:>7.2}",
+        point.workload,
+        alg.label(),
+        threads,
+        chunk,
+        report.total_nodes,
+        point.depth,
+        t_virtual,
+        mnps,
+        summary.steal_attempts,
+        summary.successful_steals,
+        summary.bound,
+        100.0 * working,
+        t_real
+    );
+    csv.push_str(&format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+        point.workload,
+        alg.label(),
+        threads,
+        chunk,
+        report.total_nodes,
+        point.depth,
+        t_virtual,
+        mnps,
+        summary.steal_attempts,
+        summary.successful_steals,
+        summary.bound,
+        working,
+        t_real
+    ));
+    summary.successful_steals as f64 / summary.bound.max(1) as f64
+}
+
+/// [`sweep`] for a DAG workload: the conservation target and steal-bound
+/// depth come from the generator itself.
+fn sweep_dag<G: worksteal::DagGen>(
+    machine: &MachineModel,
+    threads: usize,
+    gen: &DagWorkload<G>,
+    alg: Algorithm,
+    chunk: usize,
+    workload: &str,
+    csv: &mut String,
+) -> f64 {
+    let point = Point {
+        workload,
+        expected: gen.n_tasks(),
+        depth: gen.critical_path_len().expect("DAGs have a closed-form depth"),
+    };
+    sweep(machine, threads, gen, alg, chunk, &point, csv)
+}
+
+fn main() {
+    let smoke = flag("--smoke");
+    // Chunk matters doubly for DAGs: a release needs local depth >= 2k, and
+    // narrow-frontier DAGs (wavefront: <= 2 successors per task) never reach
+    // it for k > 1 — the sweep runs k=1 and k=4 to expose exactly that.
+    let chunk: usize = arg("--chunk", 0);
+    let chunks: Vec<usize> = if chunk == 0 { vec![1, 4] } else { vec![chunk] };
+    let machine_name: String = arg("--machine", "kittyhawk".to_string());
+    let machine = machine_by_name(&machine_name);
+    let tree: String = arg("--tree", if smoke { "tiny" } else { "s" }.to_string());
+    let preset = preset_by_name(&tree);
+    let tree_gen = UtsGen::new(preset.spec);
+
+    // One bundle per transport, plus hierarchical victims on distmem.
+    let algs = [
+        Algorithm::Term,
+        Algorithm::DistMem,
+        Algorithm::MpiWs,
+        Algorithm::Hier,
+    ];
+    let threads_list: &[usize] = if smoke { &[8] } else { &[64, 256] };
+
+    // DAG instances: sized so each family has real parallelism at p=256
+    // while the whole sweep stays interactive. Smoke shrinks them ~50x.
+    let (fj, wf, rl) = if smoke {
+        (
+            ForkJoin { levels: 6, width: 12, seed: 1 },
+            Wavefront { rows: 12, cols: 12, seed: 2 },
+            RandomLayered::new(8, 12, 150, 3),
+        )
+    } else {
+        (
+            ForkJoin { levels: 48, width: 96, seed: 1 },
+            Wavefront { rows: 80, cols: 80, seed: 2 },
+            RandomLayered::new(40, 120, 80, 3),
+        )
+    };
+    let fj = DagWorkload::new(fj);
+    let wf = DagWorkload::new(wf);
+    let rl = DagWorkload::new(rl);
+
+    println!(
+        "DAG sweep: k in {chunks:?} on {}, steal factor {DEFAULT_STEAL_FACTOR}{}",
+        machine.name,
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!(
+        "{:<12} {:<16} {:>4} {:>2} {:>9} {:>8} {:>10} {:>9} {:>9} {:>9} {:>10} {:>6} {:>7}",
+        "workload",
+        "algorithm",
+        "p",
+        "k",
+        "tasks",
+        "depth",
+        "t_virt(s)",
+        "Mnodes/s",
+        "attempts",
+        "steals",
+        "bound",
+        "work%",
+        "real(s)"
+    );
+
+    let mut csv = String::from(
+        "workload,algorithm,threads,chunk,tasks,critical_path,t_virtual_s,mnodes_per_sec,\
+         steal_attempts,successful_steals,steal_bound,working_frac,t_real_s\n",
+    );
+    let mut worst: f64 = 0.0;
+    for &threads in threads_list {
+        for &k in &chunks {
+            for alg in algs {
+                let tree_point = Point {
+                    workload: preset.name,
+                    expected: preset.expected.nodes,
+                    depth: u64::from(preset.expected.max_depth),
+                };
+                worst = worst.max(sweep(&machine, threads, &tree_gen, alg, k, &tree_point, &mut csv));
+                worst = worst.max(sweep_dag(&machine, threads, &fj, alg, k, "fork-join", &mut csv));
+                worst = worst.max(sweep_dag(&machine, threads, &wf, alg, k, "wavefront", &mut csv));
+                worst = worst.max(sweep_dag(&machine, threads, &rl, alg, k, "layered", &mut csv));
+            }
+        }
+    }
+    println!(
+        "all rows pass conservation and the O(p·D) steal bound; \
+         tightest cell used {:.1}% of its bound",
+        100.0 * worst
+    );
+
+    if smoke {
+        println!("smoke run: results/dag_sweep.csv left untouched");
+        return;
+    }
+    let dir = PathBuf::from("results");
+    if fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("dag_sweep.csv");
+        match fs::File::create(&path).and_then(|mut f| f.write_all(csv.as_bytes())) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warn: cannot write {}: {e}", path.display()),
+        }
+    }
+}

@@ -126,6 +126,13 @@ pub enum ConfigError {
     /// and no deterministic membership protocol; run the config through
     /// `run_sim` instead.
     CrashFaultsAreSimOnly,
+    /// The plan requests crash-class faults but the task generator still
+    /// uses the degenerate default [`crate::taskgen::TaskGen::fingerprint`]
+    /// (root and first child share an identity), which would silently
+    /// understate duplicate counts and break
+    /// conservation-with-multiplicity. Override `fingerprint` with an
+    /// injective hash (see the trait docs) to run crash plans.
+    DegenerateFingerprints,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -136,6 +143,14 @@ impl std::fmt::Display for ConfigError {
                 "crash fault plans are sim-only: virtual-time kills, leases, \
                  partitions, and restarts have no native analogue; run this \
                  config through run_sim (the simulator backend) instead"
+            ),
+            ConfigError::DegenerateFingerprints => write!(
+                f,
+                "crash fault plans need injective task fingerprints: this \
+                 generator's root and first child share the degenerate \
+                 default fingerprint, so duplicate counting (conservation \
+                 with multiplicity) would silently understate; override \
+                 TaskGen::fingerprint with a collision-free hash"
             ),
         }
     }

@@ -39,25 +39,75 @@ where
     res
 }
 
+/// Crash-mode fail-fast (see [`crate::taskgen::TaskGen::fingerprint`]):
+/// a generator still on the degenerate default fingerprint would silently
+/// understate duplicate counts, so refuse the run before it starts. The
+/// root-vs-first-child probe is exactly the degenerate-default detector —
+/// injective fingerprints always differ there, the all-zero default never
+/// does.
+pub(crate) fn check_crash_fingerprints<G: TaskGen>(
+    gen: &G,
+    cfg: &RunConfig,
+) -> Result<(), ConfigError> {
+    if !cfg.faults.crash_active() {
+        return Ok(());
+    }
+    let root = gen.root();
+    let mut kids = Vec::new();
+    gen.expand(&root, &mut kids);
+    if let Some(first) = kids.first() {
+        if gen.fingerprint(&root) == gen.fingerprint(first) {
+            return Err(ConfigError::DegenerateFingerprints);
+        }
+    }
+    Ok(())
+}
+
 /// Run on the virtual-time simulator: `nthreads` simulated UPC threads over
 /// `machine`'s cost model. Deterministic for fixed config; the makespan is
 /// virtual time.
+///
+/// # Panics
+///
+/// On any [`ConfigError`] — use [`try_run_sim`] to handle it as a value.
 pub fn run_sim<G>(machine: MachineModel, nthreads: usize, gen: &G, cfg: &RunConfig) -> RunReport
 where
     G: TaskGen,
 {
+    try_run_sim(machine, nthreads, gen, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_sim`] with typed config errors instead of panics.
+///
+/// # Errors
+///
+/// [`ConfigError::DegenerateFingerprints`] if the config arms crash-class
+/// faults while the generator still uses the degenerate default
+/// [`TaskGen::fingerprint`] (duplicate accounting would silently break).
+pub fn try_run_sim<G>(
+    machine: MachineModel,
+    nthreads: usize,
+    gen: &G,
+    cfg: &RunConfig,
+) -> Result<RunReport, ConfigError>
+where
+    G: TaskGen,
+{
+    check_crash_fingerprints(gen, cfg)?;
     let machine_name = machine.name;
-    let cluster: SimCluster<G::Task> = SimCluster::new(machine, nthreads, vars::space_config())
-        .with_lookahead(cfg.sim_lookahead)
-        .with_faults(cfg.faults);
+    let cluster: SimCluster<G::Task> =
+        SimCluster::new(machine, nthreads, vars::space_config_for(gen, nthreads))
+            .with_lookahead(cfg.sim_lookahead)
+            .with_faults(cfg.faults);
     let report = cluster.run(|comm| worker(comm, gen, cfg));
-    assemble(
+    Ok(assemble(
         cfg,
         machine_name,
         nthreads,
+        gen.critical_path_len().unwrap_or(0),
         report.makespan_ns,
         report.results,
-    )
+    ))
 }
 
 /// Run on real OS threads (the shared-memory setting). The makespan is
@@ -81,12 +131,14 @@ where
     if cfg.faults.crash_active() {
         return Err(ConfigError::CrashFaultsAreSimOnly);
     }
-    let cluster: NativeCluster<G::Task> = NativeCluster::new(machine, nthreads, vars::space_config());
+    let cluster: NativeCluster<G::Task> =
+        NativeCluster::new(machine, nthreads, vars::space_config_for(gen, nthreads));
     let report = cluster.run(|comm| worker(comm, gen, cfg));
     Ok(assemble(
         cfg,
         machine_name,
         nthreads,
+        gen.critical_path_len().unwrap_or(0),
         report.makespan_ns,
         report.results,
     ))
@@ -112,6 +164,7 @@ fn assemble(
     cfg: &RunConfig,
     machine: &'static str,
     threads: usize,
+    critical_path_len: u64,
     makespan_ns: u64,
     per_thread: Vec<ThreadResult>,
 ) -> RunReport {
@@ -155,6 +208,12 @@ fn assemble(
         deaths: per_thread.iter().filter(|t| t.died).count(),
         evictions: per_thread.iter().map(|t| t.evictions).sum(),
         rejoins: per_thread.iter().map(|t| t.rejoins).sum(),
+        steal_attempts: per_thread
+            .iter()
+            .map(|t| t.steals_ok + t.steals_failed)
+            .sum(),
+        successful_steals: per_thread.iter().map(|t| t.steals_ok).sum(),
+        critical_path_len,
         service: None,
         per_thread,
     }
@@ -216,6 +275,98 @@ mod tests {
             .expect_err("crash plan must be rejected");
         assert_eq!(err, crate::config::ConfigError::CrashFaultsAreSimOnly);
         assert!(err.to_string().contains("run_sim"), "error points at the sim backend");
+    }
+
+    /// A DAG workload runs through every policy bundle on the simulator and
+    /// executes each task exactly once — the ready-queue reduction keeps the
+    /// stack protocols untouched.
+    #[test]
+    fn dag_workloads_conserve_across_all_algorithms_sim() {
+        use crate::workload::{DagWorkload, ForkJoin, RandomLayered, Wavefront};
+        let fj = DagWorkload::new(ForkJoin {
+            levels: 5,
+            width: 8,
+            seed: 3,
+        });
+        let wf = DagWorkload::new(Wavefront {
+            rows: 9,
+            cols: 7,
+            seed: 4,
+        });
+        let rl = DagWorkload::new(RandomLayered::new(6, 8, 200, 5));
+        for alg in Algorithm::all() {
+            for threads in [1, 3, 8] {
+                let cfg = RunConfig::new(alg, 2);
+                for (name, report, expect) in [
+                    ("fork-join", run_sim(MachineModel::smp(), threads, &fj, &cfg), fj.n_tasks()),
+                    ("wavefront", run_sim(MachineModel::smp(), threads, &wf, &cfg), wf.n_tasks()),
+                    ("layered", run_sim(MachineModel::smp(), threads, &rl, &cfg), rl.n_tasks()),
+                ] {
+                    assert_eq!(
+                        report.total_nodes,
+                        expect,
+                        "{name} on {} with {threads} threads lost or duplicated tasks",
+                        alg.label()
+                    );
+                    assert!(report.critical_path_len > 0, "{name}: critical path missing");
+                }
+            }
+        }
+    }
+
+    /// Same reduction on the native OS-thread backend (real atomics under
+    /// the count-up cells).
+    #[test]
+    fn dag_workload_conserves_native() {
+        use crate::workload::{DagWorkload, Wavefront};
+        let gen = DagWorkload::new(Wavefront {
+            rows: 12,
+            cols: 12,
+            seed: 6,
+        });
+        let cfg = RunConfig::new(Algorithm::DistMem, 2);
+        let report = run_native(MachineModel::smp(), 3, &gen, &cfg)
+            .expect("fault-free DAG runs natively");
+        assert_eq!(report.total_nodes, gen.n_tasks());
+    }
+
+    /// Crash plans refuse generators still on the degenerate default
+    /// fingerprint — conservation-with-multiplicity would silently break.
+    #[test]
+    fn crash_plan_rejects_degenerate_fingerprints_with_typed_error() {
+        /// A generator that "forgot" to override `fingerprint`.
+        struct NoFp;
+        impl TaskGen for NoFp {
+            type Task = u32;
+            fn root(&self) -> u32 {
+                0
+            }
+            fn expand(&self, t: &u32, out: &mut Vec<u32>) -> u32 {
+                if *t < 2 {
+                    out.push(t + 1);
+                    1
+                } else {
+                    0
+                }
+            }
+        }
+        let mut cfg = RunConfig::new(Algorithm::DistMem, 2);
+        cfg.faults = pgas::FaultPlan::crashy(3);
+        let err = try_run_sim(MachineModel::smp(), 2, &NoFp, &cfg)
+            .expect_err("degenerate fingerprints must be rejected");
+        assert_eq!(err, ConfigError::DegenerateFingerprints);
+        assert!(err.to_string().contains("fingerprint"));
+        // The same generator is fine without crash faults...
+        cfg.faults = pgas::FaultPlan::none();
+        let report = try_run_sim(MachineModel::smp(), 2, &NoFp, &cfg).expect("fault-free runs");
+        assert_eq!(report.total_nodes, 3);
+        // ...and a crash plan is fine once fingerprints are injective.
+        let p = presets::t_tiny();
+        let mut cfg = RunConfig::new(Algorithm::DistMem, 2);
+        cfg.faults = pgas::FaultPlan::crashy(3);
+        cfg.steal_timeout_ns = Some(30_000);
+        try_run_sim(MachineModel::smp(), 2, &UtsGen::new(p.spec), &cfg)
+            .expect("UtsGen fingerprints are injective");
     }
 
     #[test]

@@ -53,12 +53,14 @@ pub mod service;
 pub mod stack;
 pub mod state;
 pub mod taskgen;
+pub mod theory;
 pub mod trace;
 pub mod vars;
 pub mod watchdog;
+pub mod workload;
 
 pub use config::{Algorithm, ConfigError, RunConfig};
-pub use engine::{run_native, run_sim, seq_run, worker};
+pub use engine::{run_native, run_sim, seq_run, try_run_sim, worker};
 pub use hist::LatencyHistogram;
 pub use probe::{ProbeOrder, VictimSelector};
 pub use report::{RunReport, ThreadResult};
@@ -68,3 +70,5 @@ pub use sched::{
 };
 pub use service::{run_service_sim, RequestStat, ServiceReport, ServiceWorkload, Stamped};
 pub use taskgen::{SyntheticGen, TaskGen, UtsGen};
+pub use theory::{check_run, steal_bound, tree_depth, TheorySummary, TheoryViolation};
+pub use workload::{DagGen, DagWorkload, ForkJoin, RandomLayered, Wavefront};

@@ -166,6 +166,18 @@ pub struct RunReport {
     /// Incarnation rejoins during the run (fence re-entries plus post-kill
     /// restarts).
     pub rejoins: u64,
+    /// Total steal attempts across all threads (successful + failed) — the
+    /// numerator of the theory layer's contention metrics.
+    pub steal_attempts: u64,
+    /// Steal attempts that transferred work, summed across threads. Always
+    /// equals [`RunReport::total_steals`]; stored as a field so the theory
+    /// checks ([`crate::theory`]) and CSV writers read it uniformly.
+    pub successful_steals: u64,
+    /// Critical-path length `D` of the workload (weighted longest
+    /// root→sink path), when the generator knows it
+    /// ([`crate::taskgen::TaskGen::critical_path_len`]); 0 when unknown.
+    /// The O(p·D) steal bound in [`crate::theory`] checks against it.
+    pub critical_path_len: u64,
     /// Service-mode results (per-request latencies, tail histogram) — `None`
     /// on batch runs; see [`crate::service::run_service_sim`].
     pub service: Option<crate::service::ServiceReport>,
@@ -304,6 +316,9 @@ mod tests {
             deaths: 0,
             evictions: 0,
             rejoins: 0,
+            steal_attempts: 0,
+            successful_steals: 0,
+            critical_path_len: 0,
             service: None,
             per_thread: vec![ThreadResult::default(); threads],
         }

@@ -346,9 +346,13 @@ where
                 cx.res.explored.push(gen.fingerprint(&node));
             }
             scratch.clear();
-            gen.expand(&node, &mut scratch);
+            // Workloads with shared readiness state (task DAGs) publish it
+            // inside expand_in, before the produced tasks are pushed and
+            // before maybe_release can migrate them — tree workloads expand
+            // purely, leaving the comm-op stream bit-identical.
+            gen.expand_in(comm, &node, &mut scratch);
             stack.push_all(&scratch);
-            comm.work(1);
+            comm.work(gen.work_units(&node));
             transport.poll(comm, &mut stack, &mut cx);
             if transport.maybe_release(comm, &mut stack, &mut cx) {
                 td.on_release(comm);

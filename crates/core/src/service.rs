@@ -693,7 +693,7 @@ where
                 epoch: node.epoch,
             }));
             stack.push_all(&scratch);
-            comm.work(1);
+            comm.work(gen.work_units(&node.task));
             transport.poll(comm, &mut stack, &mut cx);
             transport.maybe_release(comm, &mut stack, &mut cx);
         }
@@ -822,11 +822,14 @@ where
         armed.steal_timeout_ns = Some(SVC_STEAL_TIMEOUT_NS);
     }
     let cfg = &armed;
+    if let Err(e) = crate::engine::check_crash_fingerprints(gen, cfg) {
+        panic!("{e}");
+    }
     let schedule = arrivals.schedule();
     let schedule = &schedule[..];
     let spec = cfg.bundle();
     let cluster: SimCluster<Stamped<G::Task>> =
-        SimCluster::new(machine, nthreads, vars::space_config())
+        SimCluster::new(machine, nthreads, vars::space_config_for(gen, nthreads))
             .with_lookahead(cfg.sim_lookahead)
             .with_faults(cfg.faults);
     let report = cluster.run(|comm| {
@@ -1009,6 +1012,12 @@ fn assemble_service<G: ServiceWorkload>(
         deaths: per_thread.iter().filter(|t| t.died).count(),
         evictions: per_thread.iter().map(|t| t.evictions).sum(),
         rejoins: per_thread.iter().map(|t| t.rejoins).sum(),
+        steal_attempts: per_thread
+            .iter()
+            .map(|t| t.steals_ok + t.steals_failed)
+            .sum(),
+        successful_steals: per_thread.iter().map(|t| t.steals_ok).sum(),
+        critical_path_len: gen.critical_path_len().unwrap_or(0),
         service: Some(ServiceReport {
             requests: n_requests,
             deferred_injections: per_thread.iter().map(|t| t.svc_deferred).sum(),

@@ -13,6 +13,14 @@
 //! `[(base + i) * k, (base + i + 1) * k)`. Steals are served oldest-first
 //! (lowest index — the nodes nearest the tree root, statistically the
 //! largest subtrees); the owner reacquires newest-first.
+//!
+//! **Ready-queue layering** (`crate::workload`): DAG workloads reuse this
+//! stack unchanged as their distributed ready queue — a task is pushed
+//! exactly when its last dependency resolves (the expansion hook emits only
+//! newly-ready successors, highest priority nearest the top), so everything
+//! in the local or shared region is ready by construction and the steal,
+//! release, and termination protocols apply verbatim. Nothing here knows
+//! about dependencies; that is the point.
 
 use std::collections::VecDeque;
 
@@ -70,6 +78,12 @@ impl<T: Item> DfsStack<T> {
     /// Pop the top node (DFS pop).
     pub fn pop(&mut self) -> Option<T> {
         self.local.pop_back()
+    }
+
+    /// The node the next [`DfsStack::pop`] would return, without removing
+    /// it (ready-queue tests assert priority ordering through this).
+    pub fn peek(&self) -> Option<&T> {
+        self.local.back()
     }
 
     /// Remove and return the `k` *oldest* local nodes for a release.

@@ -6,6 +6,7 @@
 //! tasks can be traversed and balanced by the algorithms in this crate.
 
 use pgas::comm::Item;
+use pgas::Comm;
 use uts_tree::{Node, TreeSpec};
 
 /// An implicit tree of tasks. Implementations must be deterministic: the
@@ -20,12 +21,71 @@ pub trait TaskGen: Sync {
     /// Append `task`'s children onto `out`; return how many were produced.
     fn expand(&self, task: &Self::Task, out: &mut Vec<Self::Task>) -> u32;
 
+    /// Expansion with access to the communication substrate, called by the
+    /// generic driver's working loop in place of [`TaskGen::expand`]. The
+    /// default simply forwards to `expand`, issuing no comm operations —
+    /// which keeps the op stream (and therefore virtual-time results) of
+    /// every tree workload bit-identical to the pre-hook driver. Workloads
+    /// whose readiness is a *shared* property — task DAGs publishing
+    /// dependency-count decrements ([`crate::workload::DagWorkload`]) —
+    /// override this to route that state through [`Comm`], so both
+    /// conductors order the updates identically.
+    ///
+    /// Contract: any comm operation issued here must happen before the
+    /// produced tasks are pushed (the driver pushes `out` only after this
+    /// returns), preserving the publish-before-migration discipline — a
+    /// task's readiness is globally visible before the task can be stolen.
+    fn expand_in<C: Comm<Self::Task>>(
+        &self,
+        comm: &mut C,
+        task: &Self::Task,
+        out: &mut Vec<Self::Task>,
+    ) -> u32 {
+        let _ = comm;
+        self.expand(task, out)
+    }
+
+    /// Virtual work units charged for executing `task` (node-explorations on
+    /// the simulator's cost model). Default 1: every task costs one node,
+    /// the UTS accounting. Weighted workloads (DAG task weights) override.
+    fn work_units(&self, _task: &Self::Task) -> u64 {
+        1
+    }
+
+    /// Extra per-rank scalar cells this workload needs beyond the protocol
+    /// layout in [`crate::vars`] (e.g. DAG pending-dependency counters,
+    /// striped across ranks). The engine adds this to the
+    /// [`pgas::SpaceConfig`] it builds. Default 0: tree workloads keep the
+    /// exact seed layout, preserving bit-identity.
+    fn extra_scalars(&self, _n_threads: usize) -> usize {
+        0
+    }
+
+    /// Critical-path length of the workload (the depth `D` in the
+    /// O(p·D) steal bound — see [`crate::theory`]), when the generator
+    /// knows it in closed form. `None` (the default) means "not known";
+    /// [`crate::theory::tree_depth`] can compute it by host traversal.
+    fn critical_path_len(&self) -> Option<u64> {
+        None
+    }
+
     /// A stable identity for `task`, used only by crash-fault runs to count
     /// exploration multiplicity (conservation-with-multiplicity checks in
-    /// [`crate::report::RunReport`]). The default `0` collapses every task
-    /// into one identity — fine when crash faults are off, which never read
-    /// it. Override with a collision-free hash to make duplicate counting
-    /// exact under crash recovery.
+    /// [`crate::report::RunReport`]).
+    ///
+    /// # Contract
+    ///
+    /// Crash-fault runs require this to be **injective** over the workload's
+    /// tasks: `duplicate_nodes` is computed as the per-fingerprint excess
+    /// over one, so two distinct tasks sharing a fingerprint silently
+    /// *understate* the duplicate count (collisions masquerade as
+    /// re-explorations, and `total − duplicates` drifts below the true task
+    /// count). The default `0` collapses every task into one identity —
+    /// fine when crash faults are off, which never read it. Crash-mode
+    /// setup fails fast with [`crate::config::ConfigError::DegenerateFingerprints`]
+    /// when it detects the degenerate default (root and first child sharing
+    /// a fingerprint); override with a collision-free hash to run crash
+    /// plans ([`UtsGen`] uses the first 8 bytes of the node's SHA-1 state).
     fn fingerprint(&self, _task: &Self::Task) -> u64 {
         0
     }

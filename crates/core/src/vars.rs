@@ -119,6 +119,15 @@ pub const COLL_BASE: usize = SVC_SLOT_BASE + SVC_WINDOW;
 /// Number of scalar cells the algorithms need per thread.
 pub const N_SCALARS: usize = COLL_BASE + pgas::collectives::COLLECTIVE_CELLS;
 
+/// Base of the per-workload cell block, allocated *above* the fixed
+/// protocol layout when the workload asks for it
+/// ([`crate::taskgen::TaskGen::extra_scalars`]). DAG workloads stripe task
+/// `t`'s pending-dependency count-up cell to rank `t mod p`, slot
+/// `DAG_BASE + t div p` (see `crate::workload`). Tree workloads request no
+/// extra cells and never touch this region, preserving the seed layout
+/// bit-exactly.
+pub const DAG_BASE: usize = N_SCALARS;
+
 /// `work_avail` value meaning "no work at all" (distinct from 0 = working
 /// with no surplus).
 pub const OUT_OF_WORK: i64 = -1;
@@ -139,6 +148,17 @@ pub const N_LOCKS: usize = 2;
 pub fn space_config() -> pgas::SpaceConfig {
     pgas::SpaceConfig {
         scalars: N_SCALARS,
+        locks: N_LOCKS,
+    }
+}
+
+/// The [`pgas::SpaceConfig`] for a specific workload on `n_threads` ranks:
+/// the fixed protocol layout plus whatever per-workload cells the generator
+/// requests above [`DAG_BASE`]. Identical to [`space_config`] for tree
+/// workloads (which request none).
+pub fn space_config_for<G: crate::taskgen::TaskGen>(gen: &G, n_threads: usize) -> pgas::SpaceConfig {
+    pgas::SpaceConfig {
+        scalars: N_SCALARS + gen.extra_scalars(n_threads),
         locks: N_LOCKS,
     }
 }

@@ -72,4 +72,15 @@ fn main() {
         out_dir,
         &[("scale_eff", figures::scale_eff as fn(&[csv::Record]) -> Chart)],
     );
+    render(
+        "results/dag_sweep.csv",
+        out_dir,
+        &[
+            (
+                "dag_sweep_throughput",
+                figures::dag_sweep_throughput as fn(&[csv::Record]) -> Chart,
+            ),
+            ("dag_sweep_steal_utilisation", figures::dag_sweep_steal_utilisation),
+        ],
+    );
 }

@@ -76,6 +76,79 @@ pub fn fig6_speedup(rows: &[Record]) -> Chart {
     }
 }
 
+/// One series per `(workload, algorithm)` pair from the `dag_sweep` CSV,
+/// restricted to chunk `k` (the sweep runs several), mapping (x_col, y_col).
+fn dag_series(rows: &[Record], x_col: &str, y_col: &str, k: f64) -> Vec<Series> {
+    let mut by_key: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for r in rows {
+        let (Some(w), Some(alg), Some(chunk), Some(x), Some(y)) = (
+            r.get("workload"),
+            r.get("algorithm"),
+            r.num("chunk"),
+            r.num(x_col),
+            r.num(y_col),
+        ) else {
+            continue;
+        };
+        if chunk != k {
+            continue;
+        }
+        by_key.entry(format!("{w}/{alg}")).or_default().push((x, y));
+    }
+    by_key
+        .into_iter()
+        .map(|(name, points)| Series { name, points })
+        .collect()
+}
+
+/// E18: DAG-vs-tree throughput across thread counts, at k=1 — the chunk
+/// size at which narrow-frontier DAGs (wavefront) can spread at all.
+pub fn dag_sweep_throughput(rows: &[Record]) -> Chart {
+    Chart {
+        title: "E18: DAG vs tree throughput (k=1, Kitty Hawk model)".into(),
+        x_label: "processors".into(),
+        y_label: "Mnodes/s".into(),
+        log2_x: true,
+        series: dag_series(rows, "threads", "mnodes_per_sec", 1.0),
+    }
+}
+
+/// E18 companion: how much of the O(p·D) steal bound each workload actually
+/// uses (successful steals / bound, at k=1). Values far below 1 are the
+/// slack the `DEFAULT_STEAL_FACTOR` calibration rests on.
+pub fn dag_sweep_steal_utilisation(rows: &[Record]) -> Chart {
+    let mut by_key: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for r in rows {
+        let (Some(w), Some(alg), Some(chunk), Some(x), Some(s), Some(b)) = (
+            r.get("workload"),
+            r.get("algorithm"),
+            r.num("chunk"),
+            r.num("threads"),
+            r.num("successful_steals"),
+            r.num("steal_bound"),
+        ) else {
+            continue;
+        };
+        if chunk != 1.0 || b <= 0.0 {
+            continue;
+        }
+        by_key
+            .entry(format!("{w}/{alg}"))
+            .or_default()
+            .push((x, s / b));
+    }
+    Chart {
+        title: "E18: steal-bound utilisation (successful steals / p·D bound, k=1)".into(),
+        x_label: "processors".into(),
+        y_label: "fraction of bound".into(),
+        log2_x: true,
+        series: by_key
+            .into_iter()
+            .map(|(name, points)| Series { name, points })
+            .collect(),
+    }
+}
+
 /// Supplemental: efficiency vs problem size.
 pub fn scale_eff(rows: &[Record]) -> Chart {
     Chart {
@@ -139,5 +212,42 @@ mpi-ws,256,2,100,51.0,21.3,0.08
         let rows = parse("algorithm,foo\na,1\n").unwrap();
         let c = fig4_performance(&rows);
         assert!(c.series.is_empty());
+    }
+
+    const SAMPLE_DAG: &str = "\
+workload,algorithm,threads,chunk,tasks,critical_path,t_virtual_s,mnodes_per_sec,steal_attempts,successful_steals,steal_bound,working_frac,t_real_s
+T-S,upc-term,64,1,45925,428,0.005,9.0,1000,400,219136,0.11,0.1
+wavefront,upc-term,64,1,6400,422,0.012,0.54,1306,250,216064,0.20,0.1
+wavefront,upc-term,256,1,6400,422,0.014,0.45,782,96,864256,0.04,0.1
+wavefront,upc-term,64,4,6400,422,0.149,0.04,0,0,216064,0.02,0.1
+";
+
+    #[test]
+    fn dag_sweep_keys_series_on_workload_and_algorithm() {
+        let rows = parse(SAMPLE_DAG).unwrap();
+        let c = dag_sweep_throughput(&rows);
+        assert_eq!(c.series.len(), 2, "one series per workload/algorithm");
+        let wf = c
+            .series
+            .iter()
+            .find(|s| s.name == "wavefront/upc-term")
+            .unwrap();
+        // Only the k=1 rows contribute: the k=4 point is filtered out.
+        assert_eq!(wf.points, vec![(64.0, 0.54), (256.0, 0.45)]);
+        assert!(c.to_svg(720, 440).contains("polyline"));
+    }
+
+    #[test]
+    fn dag_steal_utilisation_divides_by_the_bound() {
+        let rows = parse(SAMPLE_DAG).unwrap();
+        let c = dag_sweep_steal_utilisation(&rows);
+        let wf = c
+            .series
+            .iter()
+            .find(|s| s.name == "wavefront/upc-term")
+            .unwrap();
+        assert_eq!(wf.points.len(), 2);
+        assert!((wf.points[0].1 - 250.0 / 216064.0).abs() < 1e-12);
+        assert!(wf.points.iter().all(|&(_, y)| (0.0..=1.0).contains(&y)));
     }
 }

@@ -19,7 +19,7 @@
 #   scripts/chaos_smoke.sh --schedules 200 --tree s --threads 64
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cargo build --release --offline -p uts-bench --bin chaos --bin service
+cargo build --release --offline -p uts-bench --bin chaos --bin service --bin dag_sweep
 mkdir -p results/logs
 # Arm the protocol watchdogs even in this release build so a livelocked
 # loop dies with a named panic rather than eating the whole budget.
@@ -33,3 +33,11 @@ UTS_WATCHDOG_RELEASE=1 \
 # every request completes and per-epoch conservation holds.
 UTS_WATCHDOG_RELEASE=1 \
 ./target/release/service --smoke | tee results/logs/service_smoke.log
+
+# DAG-workload smoke (docs/workloads.md, EXPERIMENTS.md E18): shrunken DAG
+# families plus the tree baseline through one bundle per transport, with
+# the steal-bound and conservation theory checks asserted on every row
+# (the binary panics on any violation). Smoke runs never overwrite
+# results/dag_sweep.csv.
+UTS_WATCHDOG_RELEASE=1 \
+./target/release/dag_sweep --smoke | tee results/logs/dag_sweep_smoke.log

@@ -10,8 +10,12 @@
 //!   conductor modes, so the fault layer costs nothing when disabled.
 
 use pgas::{FaultPlan, MachineModel};
-use uts_dlb::worksteal::{run_sim, seq_run, Algorithm, RunConfig, RunReport, UtsGen};
+use uts_dlb::worksteal::{
+    run_sim, seq_run, Algorithm, DagWorkload, RandomLayered, RunConfig, RunReport, UtsGen,
+    Wavefront,
+};
 use uts_tree::presets;
+use uts_tree::spec::{GeoShape, TreeSpec};
 
 /// Derive a pseudo-random but deterministic fault plan from `i` by
 /// perturbing every knob of the stock seeded plan.
@@ -148,6 +152,79 @@ fn crash_faults_conserve_with_multiplicity() {
                 report.duplicate_nodes,
                 report.deaths
             );
+        }
+    }
+}
+
+/// The geometric and hybrid tree families (docs/workloads.md) under the
+/// same crash sweep: conservation-with-multiplicity is a property of the
+/// recovery protocol, not of the binomial law every other chaos case uses.
+#[test]
+fn geometric_and_hybrid_trees_conserve_under_crash() {
+    let specs = [
+        ("geometric", TreeSpec::geometric(5, 2.2, 6, GeoShape::ExpDec)),
+        ("hybrid", TreeSpec::hybrid(7, 2.5, 3, 2, 0.45)),
+    ];
+    for (family, mut spec) in specs {
+        // Geometric roots draw their child count too, so a seed can yield a
+        // single-node tree: scan to the first non-degenerate instance.
+        let expect = loop {
+            let (expect, _) = seq_run(&UtsGen::new(spec));
+            if expect > 30 {
+                break expect;
+            }
+            spec.seed += 100;
+        };
+        let gen = UtsGen::new(spec);
+        for alg in Algorithm::paper_set() {
+            for i in 0..3u64 {
+                let mut cfg = RunConfig::new(alg, 4);
+                cfg.faults = crash_plan(i);
+                let report = run_sim(MachineModel::kittyhawk(), 8, &gen, &cfg);
+                assert_eq!(
+                    report.total_nodes - report.duplicate_nodes,
+                    expect,
+                    "{family}/{} plan {i} lost nodes: total={} dup={} deaths={}",
+                    alg.label(),
+                    report.total_nodes,
+                    report.duplicate_nodes,
+                    report.deaths
+                );
+            }
+        }
+    }
+}
+
+/// DAG workloads under the crash sweep: each predecessor executes at least
+/// once, so every count-up cell still crosses its in-degree and every task
+/// is emitted — conservation-with-multiplicity holds with the dependency
+/// layer in the loop (docs/workloads.md).
+#[test]
+fn dag_crash_faults_conserve_with_multiplicity() {
+    let wf = DagWorkload::new(Wavefront {
+        rows: 8,
+        cols: 6,
+        seed: 13,
+    });
+    let rl = DagWorkload::new(RandomLayered::new(5, 8, 200, 11));
+    for alg in Algorithm::paper_set() {
+        for i in 0..4u64 {
+            let mut cfg = RunConfig::new(alg, 4);
+            cfg.faults = crash_plan(i);
+            for (name, report, expect) in [
+                ("wavefront", run_sim(MachineModel::kittyhawk(), 8, &wf, &cfg), wf.n_tasks()),
+                ("layered", run_sim(MachineModel::kittyhawk(), 8, &rl, &cfg), rl.n_tasks()),
+            ] {
+                assert_eq!(
+                    report.total_nodes - report.duplicate_nodes,
+                    expect,
+                    "{name}/{} plan {i} lost tasks: total={} dup={} deaths={}",
+                    alg.label(),
+                    report.total_nodes,
+                    report.duplicate_nodes,
+                    report.deaths
+                );
+            }
         }
     }
 }

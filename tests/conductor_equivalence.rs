@@ -12,7 +12,10 @@
 use pgas::sim::{SimCluster, SimReport};
 use pgas::MachineModel;
 use uts_tree::presets::{self, Preset};
-use worksteal::{vars, worker, Algorithm, RunConfig, TaskGen, ThreadResult, UtsGen};
+use worksteal::{
+    vars, worker, Algorithm, DagWorkload, RandomLayered, RunConfig, TaskGen, ThreadResult, UtsGen,
+    Wavefront,
+};
 
 fn run_mode(
     preset: &Preset,
@@ -62,6 +65,50 @@ fn assert_equivalent(preset: &Preset, alg: Algorithm, threads: usize) {
 fn matrix_over(preset: &Preset, threads: usize) {
     for alg in Algorithm::all() {
         assert_equivalent(preset, alg, threads);
+    }
+}
+
+/// DAG workloads route every dependency decrement through `Comm::add`, so
+/// "which predecessor's add crossed the in-degree" must conduct identically
+/// on both paths — bit-identical reports *including* the count-up cells in
+/// the final memory image.
+fn assert_dag_equivalent<G: worksteal::DagGen>(gen: &DagWorkload<G>, alg: Algorithm, threads: usize) {
+    let run = |lookahead: bool| -> SimReport<ThreadResult> {
+        let cfg = RunConfig {
+            sim_lookahead: lookahead,
+            ..RunConfig::new(alg, 2)
+        };
+        let cluster: SimCluster<u64> = SimCluster::new(
+            MachineModel::kittyhawk(),
+            threads,
+            vars::space_config_for(gen, threads),
+        )
+        .with_lookahead(lookahead);
+        cluster.run(|c| worker(c, gen, &cfg))
+    };
+    let fast = run(true);
+    let slow = run(false);
+    let label = format!("DAG x {} x {threads} threads", alg.label());
+    assert_eq!(fast.makespan_ns, slow.makespan_ns, "{label}: makespan diverged");
+    assert_eq!(fast.clocks, slow.clocks, "{label}: clocks diverged");
+    assert_eq!(fast.scalars, slow.scalars, "{label}: memory (count-up cells) diverged");
+    assert_eq!(fast.stats, slow.stats, "{label}: comm stats diverged");
+    assert_eq!(fast.results, slow.results, "{label}: worker results diverged");
+    let total: u64 = fast.results.iter().map(|r| r.nodes).sum();
+    assert_eq!(total, gen.n_tasks(), "{label}: tasks lost or duplicated");
+}
+
+#[test]
+fn all_algorithms_dag_workloads_16_threads() {
+    let wf = DagWorkload::new(Wavefront {
+        rows: 10,
+        cols: 8,
+        seed: 5,
+    });
+    let rl = DagWorkload::new(RandomLayered::new(6, 10, 250, 7));
+    for alg in Algorithm::all() {
+        assert_dag_equivalent(&wf, alg, 16);
+        assert_dag_equivalent(&rl, alg, 16);
     }
 }
 
