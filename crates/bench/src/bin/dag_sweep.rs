@@ -220,6 +220,27 @@ fn main() {
     );
 
     if smoke {
+        // Scale smoke: one p=8192 cell proving the ceiling the parallel
+        // conductor unlocked (EXPERIMENTS.md E19). It runs automatically
+        // when UTS_SIM_WORKERS selects the ticketed pipeline, or under any
+        // conductor with `--p8192`. T-S + distmem + k=8 keeps the cell
+        // minutes-scale: binomial fan-out (≤ 2 children) diffuses through
+        // steal-half exponentially, where a single wide-fan-out DAG source
+        // serialises its whole frontier through one victim (see E19).
+        let w = pgas::sim::env_workers();
+        if w > 0 || flag("--p8192") {
+            println!("p=8192 smoke cell ({w} sim workers):");
+            let pr = preset_by_name("s");
+            let g = UtsGen::new(pr.spec);
+            let pt = Point {
+                workload: pr.name,
+                expected: pr.expected.nodes,
+                depth: u64::from(pr.expected.max_depth),
+            };
+            sweep(&machine, 8192, &g, Algorithm::DistMem, 8, &pt, &mut csv);
+        } else {
+            println!("p=8192 smoke cell skipped (set UTS_SIM_WORKERS or pass --p8192)");
+        }
         println!("smoke run: results/dag_sweep.csv left untouched");
         return;
     }

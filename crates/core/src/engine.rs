@@ -25,6 +25,7 @@ where
     G: TaskGen,
     C: Comm<G::Task>,
 {
+    let cfg = &clamp_release_to_frontier(comm, gen, cfg);
     let mut res = crate::sched::run_bundle(comm, gen, cfg);
     if cfg.faults.crash_active() {
         // A dead rank can never join the collective; the host-side
@@ -37,6 +38,52 @@ where
         res.reduced_total = coll.all_reduce_sum(comm, res.nodes as i64) as u64;
     }
     res
+}
+
+/// The E18 guard: auto-clamp the release heuristic when the workload's
+/// ready frontier cannot feed it.
+///
+/// The paper's release trigger fires at local depth
+/// `max(release_depth, 2k)` — sized for trees, whose DFS frontier grows
+/// with the subtree. A DAG with a bounded ready frontier `F`
+/// ([`TaskGen::frontier_hint`]) narrower than that threshold per thread can
+/// *never* trigger a release: every stack stays below the threshold and the
+/// run silently serialises at k > 1 (the E18 wavefront foot-gun). When the
+/// per-thread frontier share `max(1, F/p)` is below `2k`, clamp the chunk
+/// to half that share and the release depth to twice the clamped chunk, and
+/// warn once (thread 0). Tree workloads hint `None` and are untouched —
+/// their configs, schedules, and CSVs stay bit-identical.
+fn clamp_release_to_frontier<G, C>(comm: &C, gen: &G, cfg: &RunConfig) -> RunConfig
+where
+    G: TaskGen,
+    C: Comm<G::Task>,
+{
+    let mut cfg = *cfg;
+    let Some(frontier) = gen.frontier_hint() else {
+        return cfg;
+    };
+    let share = (frontier / comm.n_threads() as u64).max(1) as usize;
+    if 2 * cfg.chunk_size <= share && cfg.release_depth <= share {
+        return cfg;
+    }
+    let k = (share / 2).max(1).min(cfg.chunk_size);
+    let depth = (2 * k).min(cfg.release_depth).max(1);
+    if k == cfg.chunk_size && depth == cfg.release_depth {
+        return cfg; // already as small as the clamp would go
+    }
+    if comm.my_id() == 0 {
+        eprintln!(
+            "[engine] warning: ready frontier ≤ {frontier} can never reach the \
+             release threshold (k={}, release_depth={}) on {} threads; \
+             clamping to k={k}, release_depth={depth} so work can move",
+            cfg.chunk_size,
+            cfg.release_depth,
+            comm.n_threads(),
+        );
+    }
+    cfg.chunk_size = k;
+    cfg.release_depth = depth;
+    cfg
 }
 
 /// Crash-mode fail-fast (see [`crate::taskgen::TaskGen::fingerprint`]):
@@ -95,10 +142,14 @@ where
 {
     check_crash_fingerprints(gen, cfg)?;
     let machine_name = machine.name;
-    let cluster: SimCluster<G::Task> =
+    let mut cluster: SimCluster<G::Task> =
         SimCluster::new(machine, nthreads, vars::space_config_for(gen, nthreads))
             .with_lookahead(cfg.sim_lookahead)
             .with_faults(cfg.faults);
+    if cfg.sim_workers > 0 {
+        // 0 keeps the builder's default: inherit UTS_SIM_WORKERS.
+        cluster = cluster.with_workers(cfg.sim_workers);
+    }
     let report = cluster.run(|comm| worker(comm, gen, cfg));
     Ok(assemble(
         cfg,
@@ -130,6 +181,15 @@ where
     let machine_name = machine.name;
     if cfg.faults.crash_active() {
         return Err(ConfigError::CrashFaultsAreSimOnly);
+    }
+    if let Ok(avail) = std::thread::available_parallelism() {
+        if nthreads > avail.get() {
+            eprintln!(
+                "[native] warning: {nthreads} OS threads requested but the host \
+                 has {avail} hardware threads; they will timeshare \
+                 (wall-clock makespans will not scale past {avail})"
+            );
+        }
     }
     let cluster: NativeCluster<G::Task> =
         NativeCluster::new(machine, nthreads, vars::space_config_for(gen, nthreads));
@@ -367,6 +427,30 @@ mod tests {
         cfg.steal_timeout_ns = Some(30_000);
         try_run_sim(MachineModel::smp(), 2, &UtsGen::new(p.spec), &cfg)
             .expect("UtsGen fingerprints are injective");
+    }
+
+    /// E18 regression: a DAG whose ready frontier is far below the release
+    /// threshold must still move work (the clamp in
+    /// [`clamp_release_to_frontier`]); pre-clamp such runs silently
+    /// serialised because no stack ever reached `max(release_depth, 2k)`.
+    #[test]
+    fn narrow_dag_release_clamp_keeps_parallelism() {
+        use crate::workload::{DagWorkload, Wavefront};
+        let gen = DagWorkload::new(Wavefront {
+            rows: 64,
+            cols: 4,
+            seed: 9,
+        });
+        // k=8 → release threshold 16, but the frontier never exceeds 4.
+        let cfg = RunConfig::new(Algorithm::DistMem, 8);
+        let report = run_sim(MachineModel::smp(), 4, &gen, &cfg);
+        assert_eq!(report.total_nodes, gen.n_tasks());
+        assert!(
+            report.successful_steals > 0,
+            "narrow DAG ran serial despite the frontier clamp: {report:?}"
+        );
+        let busy = report.per_thread.iter().filter(|t| t.nodes > 0).count();
+        assert!(busy > 1, "all work stayed on one thread: {report:?}");
     }
 
     #[test]

@@ -69,6 +69,19 @@ pub trait TaskGen: Sync {
         None
     }
 
+    /// Upper bound on how many tasks can ever be ready simultaneously (the
+    /// maximum width of the ready frontier), when the generator knows one.
+    /// `None` (the default) means "unbounded / unknown" — correct for trees,
+    /// whose DFS frontier grows with the subtree. The engine uses this to
+    /// auto-clamp the release heuristic: with the paper's depth ≥ 2k release
+    /// trigger, a workload whose per-thread frontier share stays below 2k
+    /// would never release and silently run serial (the E18 wavefront
+    /// foot-gun) — see [`crate::engine::worker`]. Purely a tuning hint:
+    /// conservation and bit-identity never depend on it.
+    fn frontier_hint(&self) -> Option<u64> {
+        None
+    }
+
     /// A stable identity for `task`, used only by crash-fault runs to count
     /// exploration multiplicity (conservation-with-multiplicity checks in
     /// [`crate::report::RunReport`]).

@@ -1,0 +1,825 @@
+//! Parallel deterministic conductor: ticketed sequencer/worker/committer.
+//!
+//! The serial conductors in [`crate::sim`] interleave all simulated threads
+//! on one OS core. This module shards the same fibers over a pool of worker
+//! OS threads and reconstructs the *exact* serial schedule from **tickets**:
+//! each [`ParOp`] a fiber issues is stamped with its virtual-time key
+//! `(clock, tid)` and queued; a single conductor thread plays two pipeline
+//! roles over those queues —
+//!
+//! - the **sequencer** decides which ticket is next: the globally least key
+//!   among queued tickets, but only once it is provably final (no live fiber
+//!   can still submit a smaller key — see [`Gating`](#gating) below);
+//! - the **committer** applies that ticket's memory effect via
+//!   [`ParOp::apply`] — the *same* function the serial conductors use — and
+//!   answers/wakes the issuing fiber if the operation returns a value.
+//!
+//! Fibers meanwhile run ahead speculatively on their workers:
+//!
+//! - **blind operations** (put, send, poll, area write/truncate, unlock)
+//!   return no value, so the fiber tickets them and keeps running; its own
+//!   later operations are ordered after them by the per-fiber FIFO.
+//! - **scalar gets** may be answered *speculatively* from the committed
+//!   image when a validation protocol proves the answer is bit-identical to
+//!   the serial one (see [`try_spec_get`]); a failed validation counts as a
+//!   `spec_conflict` and falls back to the serial-replay path below.
+//! - every other value-returning operation **parks**: the fiber tickets the
+//!   operation and suspends; the committer replays it serially in ticket
+//!   order against fully committed state and wakes the fiber with the
+//!   answer. This is the "conflict → serial replay of the window" fallback:
+//!   replaying in least-key-first ticket order *is* the serial schedule, so
+//!   it trivially preserves the least-clock-first invariant.
+//!
+//! Because commit order equals the serial baton order, every modelled
+//! quantity — clocks, steal pattern, fingerprints, histograms, `CommStats` —
+//! is bit-for-bit identical to the fiber and reference conductors. Only the
+//! harness-side [`crate::ConductorStats`] fast/park split is racy (it
+//! depends on real-time interleaving); its *total* stays deterministic.
+//!
+//! # Gating
+//!
+//! Keys are packed as `clock << 16 | tid` (64-bit lex order). Every fiber
+//! `f` maintains a monotone *advertised lower bound* `lb[f]` on its virtual
+//! clock, updated on `work()`/`advance_idle()` and after each ticket. The
+//! invariant (operation costs are ≥ 1 ns under every machine model) is:
+//!
+//! > every ticket fiber `f` submits in the future has key
+//! > `≥ packed(lb[f] + 1, f)` — unless a ticket of `f` is already queued,
+//! > in which case future keys are strictly above its last queued key.
+//!
+//! So the committer may commit the least queued key `K` as soon as
+//! `K < min over live fibers with empty queues of packed(lb[f] + 1, f)`.
+//! Stale `lb` reads only make the bound smaller, i.e. the gate conservative;
+//! retirement sets `lb = u64::MAX` and removes the fiber from the gate.
+//!
+//! # Speculative gets
+//!
+//! A fiber may answer its own `get` at key `K` straight from the committed
+//! scalar image iff all of the following hold, checked under a seqlock-style
+//! protocol ([`try_spec_get`]):
+//!
+//! 1. all of the fiber's own tickets have committed (its writes are in the
+//!    image, and its queue is empty so the gate argument below applies);
+//! 2. the *commit floor* — the least possible key of any uncommitted or
+//!    future ticket of any **other** fiber — is `> K`, so the committed
+//!    prefix below `K` is complete. (The floor pair `floor_a`/`floor_b`
+//!    stores the minimum and the minimum-excluding-the-owner-of-the-minimum,
+//!    published atomically under `floor_seq`, so a reader can always exclude
+//!    its own contribution. Floors are monotone, so a stale floor is only
+//!    conservative.)
+//! 3. the commit epoch is even (no apply in flight) and unchanged across the
+//!    whole validation + read, so the image could not change under us. The
+//!    gate also guarantees no commit *above* `K` can land while the reader's
+//!    own `lb ≤ clock(K) − cost < clock(K)` caps the gate, so a validated
+//!    read cannot observe a serially-later write; `last_committed ≥ K` is
+//!    checked anyway as defense in depth.
+//!
+//! If any check fails the get is ticketed and parked like any sync op —
+//! bit-identical, just slower.
+//!
+//! # Panics and poisoning
+//!
+//! Worker-closure panics are caught at the fiber base and re-thrown from
+//! `run`, exactly like the serial conductors. Panics raised *while applying
+//! an effect* (unlock-of-free, out-of-range bulk read, …) happen on the
+//! conductor thread; it poisons the hub, stops committing, and wakes
+//! everyone — parked fibers re-panic on resume, running fibers panic at
+//! their next ticket, and `run` re-throws the original payload.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::comm::{Item, OpClass};
+use crate::fault::FaultPlan;
+use crate::machine::MachineModel;
+use crate::sim::{fiber, Answer, Mem, ParOp, SimCluster, SimComm, SimReport, SIM_STACK_SIZE};
+use crate::stats::{CommStats, ConductorStats};
+
+/// Bits reserved for the thread id in a packed `(clock, tid)` key.
+const TID_BITS: u32 = 16;
+const TID_MASK: u64 = (1 << TID_BITS) - 1;
+
+/// Fast-path operations a fiber may run before voluntarily yielding its
+/// worker so shard-mates can advance their clocks (fairness only; no
+/// virtual-time effect).
+const YIELD_EVERY: u32 = 1024;
+
+/// Pack a `(clock, tid)` key so `u64` comparison is lexicographic order.
+fn packed(t: u64, tid: usize) -> u64 {
+    (t << TID_BITS) | tid as u64
+}
+
+/// Fiber execution states, for the owning worker's bookkeeping.
+const RUNNING: u8 = 0;
+const YIELDED: u8 = 1;
+const PARKED: u8 = 2;
+const RETIRED: u8 = 3;
+
+/// Per-fiber shared slot.
+struct FiberSlot {
+    /// Monotone lower bound on the fiber's virtual clock (raw ns, not
+    /// packed); `u64::MAX` once retired.
+    lb: AtomicU64,
+    /// Tickets of this fiber committed so far (compared against the fiber's
+    /// local `par_issued`).
+    committed: AtomicU64,
+    /// Saved stack pointer while suspended. Only the owning worker reads it,
+    /// and only after the fiber has switched out (program order on the
+    /// worker thread).
+    rsp: UnsafeCell<usize>,
+    /// Why the fiber last switched out (`RUNNING` while on CPU).
+    state: AtomicU8,
+    /// Final virtual clock, deposited at retirement.
+    final_clock: UnsafeCell<u64>,
+}
+
+/// Per-fiber answer mailbox plus retirement deposits. Split from
+/// [`FiberSlot`] only because it is generic over `T`.
+struct AnswerSlot<T: Item> {
+    /// Committer's answer to the fiber's parked ticket. Written before the
+    /// wake is pushed; the worker's wake-queue mutex publishes it.
+    answer: UnsafeCell<Option<Answer<T>>>,
+    final_stats: UnsafeCell<Option<CommStats>>,
+    final_conductor: UnsafeCell<Option<ConductorStats>>,
+}
+
+/// One worker thread's control block.
+struct WorkerCtl {
+    /// Fibers whose parked tickets have been answered, ready to resume.
+    wakes: Mutex<VecDeque<usize>>,
+    cv: Condvar,
+    /// The worker's own saved context while a fiber runs on it.
+    host_rsp: UnsafeCell<usize>,
+}
+
+/// Ticket queues, guarded by the inbox mutex.
+struct Inbox<T: Item> {
+    /// Per-fiber FIFO of `(clock, op)` tickets — FIFO *is* key order within
+    /// a fiber because clocks advance strictly.
+    queues: Vec<VecDeque<(u64, ParOp<T>)>>,
+    /// Min-heap of queue-head keys, one entry per nonempty queue.
+    heads: BinaryHeap<Reverse<(u64, usize)>>,
+}
+
+/// Shared state of the parallel conductor.
+pub(crate) struct ParHub<T: Item> {
+    pub(crate) machine: MachineModel,
+    pub(crate) nthreads: usize,
+    pub(crate) faults: FaultPlan,
+    workers: usize,
+    inbox: Mutex<Inbox<T>>,
+    inbox_cv: Condvar,
+    mem: Mem<T>,
+    slots: Vec<FiberSlot>,
+    answers: Vec<AnswerSlot<T>>,
+    workerq: Vec<WorkerCtl>,
+    /// Commit epoch: odd while an apply is in flight, bumped twice per
+    /// commit. Seqlock guard for speculative reads.
+    epoch: AtomicU64,
+    /// Seqlock sequence for the floor pair below.
+    floor_seq: AtomicU64,
+    /// Least possible key of any uncommitted/future ticket, and the least
+    /// excluding the owner of the first (both packed, owner in the low
+    /// bits). Published together under `floor_seq`.
+    floor_a: AtomicU64,
+    floor_b: AtomicU64,
+    /// Packed key of the most recent commit (monotone).
+    last_committed: AtomicU64,
+    /// First committer-side panic payload; later ones are dropped.
+    poison: Mutex<Option<Box<dyn Any + Send>>>,
+    poisoned: AtomicBool,
+    retired: AtomicUsize,
+}
+
+// SAFETY: the `UnsafeCell`s are governed by the ownership protocol described
+// on each field — `rsp`/`host_rsp` are only touched by the owning worker (or
+// by the host before any worker starts), `answer` is written by the
+// conductor strictly before the wake that lets the fiber read it (the wake
+// queue's mutex publishes the write), and the `final_*` deposits are written
+// at retirement and read by the host only after every worker has been
+// joined. Everything else is atomics, mutexes, or immutable configuration.
+unsafe impl<T: Item> Sync for ParHub<T> {}
+
+/// Launch record for one fiber; lives in a host-owned Vec with a stable
+/// address for the whole run.
+struct ParLaunch<T: Item, R, F> {
+    hub: *const ParHub<T>,
+    tid: usize,
+    f: *const F,
+    result: *mut Option<R>,
+    panic: *mut Option<Box<dyn Any + Send>>,
+}
+
+/// Raise fiber `tid`'s advertised clock lower bound (see module docs:
+/// monotone, stale values are only conservative).
+pub(crate) fn advertise<T: Item>(hub: &ParHub<T>, tid: usize, now: u64) {
+    hub.slots[tid].lb.fetch_max(now, Ordering::Relaxed);
+}
+
+/// Enqueue a ticket and return whether the conductor should be poked.
+fn enqueue<T: Item>(hub: &ParHub<T>, tid: usize, t: u64, op: ParOp<T>) {
+    let mut g = hub.inbox.lock().unwrap();
+    let was_empty = g.queues[tid].is_empty();
+    g.queues[tid].push_back((t, op));
+    if was_empty {
+        g.heads.push(Reverse((t, tid)));
+    }
+    drop(g);
+    hub.inbox_cv.notify_one();
+}
+
+/// Park the current fiber until the committer answers its ticket.
+fn park<T: Item>(hub: &ParHub<T>, tid: usize) -> Answer<T> {
+    let slot = &hub.slots[tid];
+    let wid = tid % hub.workers;
+    slot.state.store(PARKED, Ordering::Release);
+    // SAFETY: `host_rsp` was saved by our worker when it switched into us;
+    // we are the only fiber live on that worker, and our own `rsp` save slot
+    // is resumed exactly once, by the worker after our wake arrives.
+    unsafe {
+        fiber::switch(hub.slots[tid].rsp.get(), *hub.workerq[wid].host_rsp.get());
+    }
+    // SAFETY: the committer wrote the answer before pushing our wake; the
+    // wake queue's mutex (acquired by our worker) published it.
+    let ans = unsafe { (*hub.answers[tid].answer.get()).take() };
+    match ans {
+        Some(a) => a,
+        None => {
+            assert!(
+                hub.poisoned.load(Ordering::Acquire),
+                "fiber woken without an answer"
+            );
+            panic!("simulation poisoned by a committer-side panic");
+        }
+    }
+}
+
+/// Voluntarily yield the fiber's worker (fairness tick, no virtual-time
+/// effect): shard-mates get to run and advance their advertised clocks.
+fn yield_worker<T: Item>(hub: &ParHub<T>, tid: usize) {
+    let slot = &hub.slots[tid];
+    let wid = tid % hub.workers;
+    slot.state.store(YIELDED, Ordering::Release);
+    // SAFETY: as in `park`; the worker requeues YIELDED fibers itself.
+    unsafe {
+        fiber::switch(hub.slots[tid].rsp.get(), *hub.workerq[wid].host_rsp.get());
+    }
+}
+
+/// Try to answer `get(thread, var)` at key `(t, me)` from the committed
+/// image. `None` = validation failed; caller falls back to the parked path.
+fn try_spec_get<T: Item>(hub: &ParHub<T>, me: usize, t: u64, thread: usize, var: usize) -> Option<i64> {
+    let k = packed(t, me);
+    let e1 = hub.epoch.load(Ordering::SeqCst);
+    if e1 & 1 == 1 {
+        return None;
+    }
+    // Floor pair under its seqlock (bounded retries; this is an
+    // optimization, not a liveness requirement).
+    let (fa, fb) = {
+        let mut tries = 0;
+        loop {
+            let s1 = hub.floor_seq.load(Ordering::SeqCst);
+            if s1 & 1 == 0 {
+                let a = hub.floor_a.load(Ordering::SeqCst);
+                let b = hub.floor_b.load(Ordering::SeqCst);
+                if hub.floor_seq.load(Ordering::SeqCst) == s1 {
+                    break (a, b);
+                }
+            }
+            tries += 1;
+            if tries > 64 {
+                return None;
+            }
+            std::hint::spin_loop();
+        }
+    };
+    let floor_excl = if (fa & TID_MASK) as usize == me { fb } else { fa };
+    if floor_excl <= k {
+        return None;
+    }
+    // Defense in depth: the gate (our own lb < t) already forbids commits
+    // above our key, but verify nothing serially later has landed.
+    if hub.last_committed.load(Ordering::SeqCst) >= k {
+        return None;
+    }
+    let v = hub.mem.scalars[thread][var].load(Ordering::SeqCst);
+    if hub.epoch.load(Ordering::SeqCst) != e1 {
+        return None;
+    }
+    Some(v)
+}
+
+/// Fiber-side entry for every priced operation under the parallel conductor
+/// (called from `SimComm::op`). `t` is the operation's virtual-time key.
+pub(crate) fn submit<T: Item>(
+    hub: &ParHub<T>,
+    comm: &mut SimComm<T>,
+    class: OpClass,
+    t: u64,
+    op: ParOp<T>,
+) -> Answer<T> {
+    assert!(
+        t >> (63 - TID_BITS) == 0,
+        "virtual clock too large for packed ticket keys"
+    );
+    let me = comm.tid;
+    if hub.poisoned.load(Ordering::Acquire) {
+        panic!("simulation poisoned by a committer-side panic");
+    }
+    if op.is_blind() {
+        comm.conductor.fast_ops += 1;
+        comm.conductor.fast_by_class[class.index()] += 1;
+        enqueue(hub, me, t, op);
+        comm.par_issued += 1;
+        // Only after the ticket is queued may we claim future keys are > t.
+        advertise(hub, me, t);
+        comm.par_ticks += 1;
+        if comm.par_ticks >= YIELD_EVERY {
+            comm.par_ticks = 0;
+            yield_worker(hub, me);
+            if hub.poisoned.load(Ordering::Acquire) {
+                panic!("simulation poisoned by a committer-side panic");
+            }
+        }
+        return Answer::Unit;
+    }
+    // Speculative scalar read: sound only once our own writes are all in
+    // the committed image (and our queue is therefore empty).
+    if let ParOp::Get { thread, var } = op {
+        if hub.slots[me].committed.load(Ordering::Acquire) == comm.par_issued {
+            if let Some(v) = try_spec_get(hub, me, t, thread, var) {
+                comm.conductor.fast_ops += 1;
+                comm.conductor.fast_by_class[class.index()] += 1;
+                // No ticket was (or ever will be) issued at this key, so
+                // future keys are > t: safe to advertise.
+                advertise(hub, me, t);
+                comm.par_ticks += 1;
+                if comm.par_ticks >= YIELD_EVERY {
+                    comm.par_ticks = 0;
+                    yield_worker(hub, me);
+                    if hub.poisoned.load(Ordering::Acquire) {
+                        panic!("simulation poisoned by a committer-side panic");
+                    }
+                }
+                return Answer::Int(v);
+            }
+        }
+        comm.conductor.spec_conflicts += 1;
+        comm.conductor.handoffs += 1;
+        comm.par_issued += 1;
+        comm.par_ticks = 0;
+        enqueue(hub, me, t, ParOp::Get { thread, var });
+        advertise(hub, me, t);
+        return park(hub, me);
+    }
+    comm.conductor.handoffs += 1;
+    comm.par_issued += 1;
+    comm.par_ticks = 0;
+    enqueue(hub, me, t, op);
+    advertise(hub, me, t);
+    park(hub, me)
+}
+
+/// Apply one ticket on the conductor thread. Returns `false` if the apply
+/// panicked (hub is poisoned; stop committing).
+fn commit_one<T: Item>(hub: &ParHub<T>, f: usize, t: u64, op: ParOp<T>) -> bool {
+    let is_sync = !op.is_blind();
+    hub.epoch.fetch_add(1, Ordering::SeqCst); // odd: apply in flight
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        // SAFETY: the conductor thread is the unique commit-right holder.
+        unsafe { op.apply(&hub.mem, f, t) }
+    }));
+    hub.last_committed.store(packed(t, f), Ordering::SeqCst);
+    hub.epoch.fetch_add(1, Ordering::SeqCst); // even: image quiescent
+    hub.slots[f].committed.fetch_add(1, Ordering::Release);
+    match res {
+        Ok(ans) => {
+            if is_sync {
+                // SAFETY: the fiber is parked on this very ticket; the wake
+                // below (under the worker mutex) publishes the write.
+                unsafe { *hub.answers[f].answer.get() = Some(ans) };
+                wake(hub, f);
+            }
+            true
+        }
+        Err(payload) => {
+            poison(hub, payload);
+            false
+        }
+    }
+}
+
+/// Hand fiber `f` back to its worker's run queue.
+fn wake<T: Item>(hub: &ParHub<T>, f: usize) {
+    let wq = &hub.workerq[f % hub.workers];
+    wq.wakes.lock().unwrap().push_back(f);
+    wq.cv.notify_one();
+}
+
+/// Record the first committer-side panic and flip the poison flag.
+fn poison<T: Item>(hub: &ParHub<T>, payload: Box<dyn Any + Send>) {
+    let mut slot = hub.poison.lock().unwrap();
+    if slot.is_none() {
+        *slot = Some(payload);
+    }
+    drop(slot);
+    hub.poisoned.store(true, Ordering::Release);
+}
+
+/// The gate: least possible key of a *future* ticket from any live fiber
+/// whose queue is empty (fibers with queued tickets are bounded by their
+/// queue head, which is in the heap already).
+fn empty_min<T: Item>(hub: &ParHub<T>, g: &Inbox<T>) -> u64 {
+    let mut em = u64::MAX;
+    for (f, q) in g.queues.iter().enumerate() {
+        if !q.is_empty() {
+            continue;
+        }
+        let lb = hub.slots[f].lb.load(Ordering::Relaxed);
+        if lb == u64::MAX {
+            continue; // retired
+        }
+        em = em.min(packed(lb + 1, f));
+    }
+    em
+}
+
+/// Publish the speculative-read floor pair (see module docs) from the
+/// current queue heads and advertised bounds.
+fn publish_floors<T: Item>(hub: &ParHub<T>, g: &Inbox<T>) {
+    let mut a = u64::MAX;
+    let mut b = u64::MAX;
+    for (f, q) in g.queues.iter().enumerate() {
+        let contrib = if let Some(&(t, _)) = q.front() {
+            packed(t, f)
+        } else {
+            let lb = hub.slots[f].lb.load(Ordering::Relaxed);
+            if lb == u64::MAX {
+                continue; // retired
+            }
+            packed(lb + 1, f)
+        };
+        if contrib < a {
+            b = a;
+            a = contrib;
+        } else if contrib < b {
+            b = contrib;
+        }
+    }
+    hub.floor_seq.fetch_add(1, Ordering::SeqCst); // odd
+    hub.floor_a.store(a, Ordering::SeqCst);
+    hub.floor_b.store(b, Ordering::SeqCst);
+    hub.floor_seq.fetch_add(1, Ordering::SeqCst); // even
+}
+
+/// Sequencer + committer loop, run on the dedicated conductor thread.
+fn conduct<T: Item>(hub: &ParHub<T>) {
+    let n = hub.nthreads;
+    let mut idle = 0u32;
+    let mut g = hub.inbox.lock().unwrap();
+    loop {
+        if hub.poisoned.load(Ordering::Acquire) {
+            break;
+        }
+        // Commit everything currently final, clamping the gate incrementally
+        // as queues drain (lbs only grow, so the stale scan stays sound).
+        let mut em = empty_min(hub, &g);
+        let mut progressed = false;
+        while let Some(&Reverse((t, f))) = g.heads.peek() {
+            if packed(t, f) >= em {
+                break;
+            }
+            g.heads.pop();
+            let (qt, op) = g.queues[f].pop_front().expect("head tracks queue");
+            debug_assert_eq!(qt, t);
+            if let Some(&(ht, _)) = g.queues[f].front() {
+                g.heads.push(Reverse((ht, f)));
+            } else {
+                // `f` joins the gate; its next ticket is > t even if its
+                // advertised bound lags.
+                let lb = hub.slots[f].lb.load(Ordering::Relaxed).max(t);
+                if lb != u64::MAX {
+                    em = em.min(packed(lb + 1, f));
+                }
+            }
+            progressed = true;
+            if !commit_one(hub, f, t, op) {
+                break; // poisoned
+            }
+        }
+        publish_floors(hub, &g);
+        if hub.retired.load(Ordering::Acquire) == n && g.heads.is_empty() {
+            return;
+        }
+        if progressed {
+            idle = 0;
+            continue;
+        }
+        // Nothing committable: wait for a new ticket (notified) or an
+        // advertised-bound advance (not notified — hence the timeout).
+        idle = idle.saturating_add(1);
+        let wait = Duration::from_micros(50 * u64::from(idle.min(20)));
+        g = hub.inbox_cv.wait_timeout(g, wait).unwrap().0;
+    }
+    drop(g);
+    // Poisoned: stop committing, keep waking parked fibers (they re-panic on
+    // resume) until everyone has retired, so the workers can exit.
+    while hub.retired.load(Ordering::Acquire) < n {
+        for f in 0..n {
+            let slot = &hub.slots[f];
+            if slot
+                .state
+                .compare_exchange(PARKED, RUNNING, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                wake(hub, f);
+            }
+        }
+        for wq in &hub.workerq {
+            wq.cv.notify_one();
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// One worker thread: run the fibers `tid ≡ wid (mod workers)` round-robin,
+/// resuming parked fibers as their wakes arrive, until all have retired.
+fn worker_main<T: Item>(hub: &ParHub<T>, wid: usize) {
+    let mine: Vec<usize> = (0..hub.nthreads)
+        .filter(|t| t % hub.workers == wid)
+        .collect();
+    let mut live = mine.len();
+    let mut runnable: VecDeque<usize> = mine.iter().copied().collect();
+    let wq = &hub.workerq[wid];
+    while live > 0 {
+        if runnable.is_empty() {
+            let mut q = wq.wakes.lock().unwrap();
+            loop {
+                if !q.is_empty() {
+                    runnable.extend(q.drain(..));
+                    break;
+                }
+                // Timeout so a poison sweep (or a missed edge) cannot leave
+                // the worker asleep forever.
+                q = wq.cv.wait_timeout(q, Duration::from_millis(10)).unwrap().0;
+                if hub.poisoned.load(Ordering::Acquire) && q.is_empty() {
+                    break;
+                }
+            }
+            continue;
+        }
+        // Opportunistically interleave freshly woken fibers with yielders.
+        {
+            let mut q = wq.wakes.lock().unwrap();
+            runnable.extend(q.drain(..));
+        }
+        let f = runnable.pop_front().expect("nonempty");
+        let slot = &hub.slots[f];
+        if slot.state.load(Ordering::Acquire) == RETIRED {
+            continue; // duplicate wake from a poison sweep
+        }
+        slot.state.store(RUNNING, Ordering::Release);
+        // SAFETY: `rsp` holds either the fiber's initial context (host-built)
+        // or the context it saved when it last switched out — it has switched
+        // out, because our previous switch into it returned. Our own context
+        // is saved into `host_rsp` and resumed exactly once, by the fiber.
+        unsafe {
+            fiber::switch(wq.host_rsp.get(), *slot.rsp.get());
+        }
+        match slot.state.load(Ordering::Acquire) {
+            YIELDED => runnable.push_back(f),
+            PARKED => {}
+            RETIRED => live -= 1,
+            s => unreachable!("fiber returned to worker in state {s}"),
+        }
+    }
+}
+
+/// Fiber body: build the comm handle, run the worker closure, deposit
+/// results, retire.
+extern "C" fn par_fiber_entry<T, R, F>(arg: usize) -> !
+where
+    T: Item,
+    R: Send,
+    F: Fn(&mut SimComm<T>) -> R + Sync,
+{
+    let ctx = unsafe { &*(arg as *const ParLaunch<T, R, F>) };
+    let hub = unsafe { &*ctx.hub };
+    let tid = ctx.tid;
+    // SAFETY: the hub outlives every fiber; this fiber stays pinned to its
+    // worker.
+    let mut comm = unsafe { SimComm::new_par(ctx.hub, tid) };
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        let f = unsafe { &*ctx.f };
+        f(&mut comm)
+    }));
+    comm.local_clock += comm.pending_work;
+    comm.pending_work = 0;
+    // Deposit results. SAFETY: each fiber writes only its own slots; the
+    // host reads them after joining every worker.
+    unsafe {
+        *hub.slots[tid].final_clock.get() = comm.local_clock;
+        *hub.answers[tid].final_stats.get() = Some(comm.stats.clone());
+        *hub.answers[tid].final_conductor.get() = Some(comm.conductor.clone());
+        match res {
+            Ok(r) => *ctx.result = Some(r),
+            Err(p) => *ctx.panic = Some(p),
+        }
+    }
+    // Leave the gate, then poke the conductor: commits blocked on our clock
+    // bound can now flow.
+    hub.slots[tid].lb.store(u64::MAX, Ordering::SeqCst);
+    hub.retired.fetch_add(1, Ordering::SeqCst);
+    drop(hub.inbox.lock().unwrap());
+    hub.inbox_cv.notify_one();
+    let wid = tid % hub.workers;
+    hub.slots[tid].state.store(RETIRED, Ordering::Release);
+    // SAFETY: final switch back to the worker; this context is never resumed.
+    unsafe {
+        fiber::switch(hub.slots[tid].rsp.get(), *hub.workerq[wid].host_rsp.get());
+    }
+    unreachable!("retired simulated thread resumed");
+}
+
+/// Run `cluster`'s workload under the parallel conductor with `workers`
+/// worker OS threads (plus one conductor thread).
+pub(crate) fn run<T, R, F>(cluster: SimCluster<T>, workers: usize, f: &F) -> SimReport<R>
+where
+    T: Item,
+    R: Send,
+    F: Fn(&mut SimComm<T>) -> R + Sync,
+{
+    let n = cluster.nthreads;
+    assert!(
+        n <= 1 << TID_BITS,
+        "parallel conductor supports at most {} simulated threads",
+        1u64 << TID_BITS
+    );
+    let w = workers.min(n);
+    if let Ok(avail) = std::thread::available_parallelism() {
+        // +1: the conductor thread wants a core of its own too.
+        if w + 1 > avail.get() {
+            eprintln!(
+                "[sim] warning: {w} sim workers (+1 conductor) requested but the host \
+                 has {avail} hardware threads; workers will timeshare"
+            );
+        }
+    }
+    let hub = ParHub {
+        machine: cluster.machine,
+        nthreads: n,
+        faults: cluster.faults,
+        workers: w,
+        inbox: Mutex::new(Inbox {
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            heads: BinaryHeap::with_capacity(n),
+        }),
+        inbox_cv: Condvar::new(),
+        mem: Mem::new(n, &cluster.cfg),
+        slots: (0..n)
+            .map(|_| FiberSlot {
+                lb: AtomicU64::new(0),
+                committed: AtomicU64::new(0),
+                rsp: UnsafeCell::new(0),
+                state: AtomicU8::new(RUNNING),
+                final_clock: UnsafeCell::new(0),
+            })
+            .collect(),
+        answers: (0..n)
+            .map(|_| AnswerSlot {
+                answer: UnsafeCell::new(None),
+                final_stats: UnsafeCell::new(None),
+                final_conductor: UnsafeCell::new(None),
+            })
+            .collect(),
+        workerq: (0..w)
+            .map(|_| WorkerCtl {
+                wakes: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+                host_rsp: UnsafeCell::new(0),
+            })
+            .collect(),
+        epoch: AtomicU64::new(0),
+        floor_seq: AtomicU64::new(0),
+        floor_a: AtomicU64::new(0),
+        floor_b: AtomicU64::new(0),
+        last_committed: AtomicU64::new(0),
+        poison: Mutex::new(None),
+        poisoned: AtomicBool::new(false),
+        retired: AtomicUsize::new(0),
+    };
+
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut panics: Vec<Option<Box<dyn Any + Send>>> = (0..n).map(|_| None).collect();
+    // Zeroed so fresh pages come from the kernel lazily.
+    let mut stacks: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; SIM_STACK_SIZE]).collect();
+    let ctxs: Vec<ParLaunch<T, R, F>> = results
+        .iter_mut()
+        .zip(panics.iter_mut())
+        .enumerate()
+        .map(|(tid, (result, panic))| ParLaunch {
+            hub: &hub,
+            tid,
+            f,
+            result,
+            panic,
+        })
+        .collect();
+    for (tid, stack) in stacks.iter_mut().enumerate() {
+        // SAFETY: fresh stack; the entry never returns (it switches away for
+        // good at retirement); `ctxs` outlives every fiber (scope below).
+        unsafe {
+            *hub.slots[tid].rsp.get() = fiber::init_stack(
+                stack,
+                par_fiber_entry::<T, R, F>,
+                &ctxs[tid] as *const _ as usize,
+            );
+        }
+    }
+
+    let hub_ref = &hub;
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .name("sim-conductor".into())
+            .spawn_scoped(scope, move || {
+                // A conductor-loop bug must poison, not hang, the cluster.
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| conduct(hub_ref))) {
+                    poison(hub_ref, p);
+                    while hub_ref.retired.load(Ordering::Acquire) < hub_ref.nthreads {
+                        for f in 0..hub_ref.nthreads {
+                            if hub_ref.slots[f]
+                                .state
+                                .compare_exchange(
+                                    PARKED,
+                                    RUNNING,
+                                    Ordering::AcqRel,
+                                    Ordering::Relaxed,
+                                )
+                                .is_ok()
+                            {
+                                wake(hub_ref, f);
+                            }
+                        }
+                        for wq in &hub_ref.workerq {
+                            wq.cv.notify_one();
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            })
+            .expect("spawn conductor");
+        for wid in 0..w {
+            std::thread::Builder::new()
+                .name(format!("sim-worker-{wid}"))
+                .spawn_scoped(scope, move || worker_main(hub_ref, wid))
+                .expect("spawn sim worker");
+        }
+    });
+
+    // Committer-side panics (the serial conductors raise these on the
+    // issuing thread) take precedence, then fiber panics in tid order.
+    if let Some(p) = hub.poison.lock().unwrap().take() {
+        std::panic::resume_unwind(p);
+    }
+    if let Some(p) = panics.into_iter().flatten().next() {
+        std::panic::resume_unwind(p);
+    }
+
+    // SAFETY: all workers joined; these are the only live accesses.
+    let clocks: Vec<u64> = hub
+        .slots
+        .iter()
+        .map(|s| unsafe { *s.final_clock.get() })
+        .collect();
+    let makespan_ns = clocks.iter().copied().max().unwrap_or(0);
+    SimReport {
+        results: results
+            .into_iter()
+            .map(|r| r.expect("thread result"))
+            .collect(),
+        makespan_ns,
+        clocks,
+        stats: hub
+            .answers
+            .iter()
+            .map(|a| unsafe { (*a.final_stats.get()).take().expect("retired stats") })
+            .collect(),
+        conductor: hub
+            .answers
+            .iter()
+            .map(|a| unsafe {
+                (*a.final_conductor.get())
+                    .take()
+                    .expect("retired conductor stats")
+            })
+            .collect(),
+        scalars: hub.mem.scalars_snapshot(),
+    }
+}

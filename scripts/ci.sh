@@ -13,6 +13,11 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== cargo test -q (parallel conductor, UTS_SIM_WORKERS=2) =="
+# Tier-1 must also hold when the sim backend runs the ticketed parallel
+# pipeline: same suite, conductor selection flipped via the environment.
+UTS_SIM_WORKERS=2 cargo test -q
+
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 

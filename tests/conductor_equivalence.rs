@@ -1,64 +1,116 @@
-//! Fast-path equivalence: the simulator's lookahead conductor must be
-//! invisible in every modelled quantity.
+//! Conductor equivalence: every conductor must be invisible in every
+//! modelled quantity.
 //!
-//! For each load-balancing algorithm, tree, and thread count, the same run is
-//! executed with the lookahead fast path enabled and disabled, and the two
-//! reports are required to be *bit-identical*: virtual makespan, every
-//! per-thread virtual clock, every per-thread worker result (nodes, steals,
-//! releases, state times, comm counters), and the final memory image. Only
-//! the conductor's own harness counters may differ — that is the whole point
-//! of keeping them out of `CommStats`. See `docs/conductor.md`.
+//! The simulator has three conductors (see `docs/conductor.md`): the
+//! **reference** OS-thread/baton loop, the single-core **fiber** loop with
+//! the lookahead fast path, and the **parallel** ticketed
+//! sequencer/worker/committer pipeline. For each algorithm, workload, and
+//! thread count, the same run is executed under all three and the reports
+//! are required to be *bit-identical*: virtual makespan, every per-thread
+//! virtual clock, every per-thread worker result (nodes, steals, releases,
+//! state times, comm counters), and the final memory image. Only the
+//! conductors' own harness counters may differ — that is the whole point of
+//! keeping them out of `CommStats`.
+//!
+//! The matrix covers batch (UTS trees), service mode, crash faults,
+//! membership faults, all three DAG families, and a conflict-storm stress
+//! case built to defeat the parallel conductor's speculative reads and force
+//! its serial-replay fallback.
 
 use pgas::sim::{SimCluster, SimReport};
-use pgas::MachineModel;
+use pgas::{ArrivalSpec, Comm, FaultPlan, MachineModel};
 use uts_tree::presets::{self, Preset};
+use uts_tree::TreeSpec;
 use worksteal::{
-    vars, worker, Algorithm, DagWorkload, RandomLayered, RunConfig, TaskGen, ThreadResult, UtsGen,
-    Wavefront,
+    run_service_sim, run_sim, vars, worker, Algorithm, DagWorkload, ForkJoin, RandomLayered,
+    RunConfig, RunReport, TaskGen, ThreadResult, UtsGen, Wavefront,
 };
 
-fn run_mode(
-    preset: &Preset,
-    alg: Algorithm,
-    threads: usize,
-    lookahead: bool,
-) -> SimReport<ThreadResult> {
+/// Which conductor drives the run. `Parallel` carries the worker count;
+/// every mode pins the choice explicitly so the matrix stays a genuine
+/// 3-way comparison even when `UTS_SIM_WORKERS` is set in the environment.
+#[derive(Clone, Copy, Debug)]
+enum Mode {
+    Reference,
+    Fiber,
+    Parallel(usize),
+}
+
+impl Mode {
+    fn cluster<T: pgas::comm::Item>(self, c: SimCluster<T>) -> SimCluster<T> {
+        match self {
+            Mode::Reference => c.with_lookahead(false).with_workers(0),
+            Mode::Fiber => c.with_lookahead(true).with_workers(0),
+            Mode::Parallel(w) => c.with_lookahead(true).with_workers(w),
+        }
+    }
+
+    /// The same selection through the `RunConfig` knobs, for runs that go
+    /// through the engine/service entry points. `Fiber` leaves
+    /// `sim_workers = 0`, which inherits `UTS_SIM_WORKERS` — under the CI
+    /// pass that sets it, the "fiber" leg simply becomes a second parallel
+    /// configuration, which must *still* be bit-identical.
+    fn config(self, mut cfg: RunConfig) -> RunConfig {
+        match self {
+            Mode::Reference => cfg.sim_lookahead = false,
+            Mode::Fiber => cfg.sim_lookahead = true,
+            Mode::Parallel(w) => {
+                cfg.sim_lookahead = true;
+                cfg.sim_workers = w;
+            }
+        }
+        cfg
+    }
+}
+
+fn assert_sim_identical(
+    a: &SimReport<ThreadResult>,
+    b: &SimReport<ThreadResult>,
+    label: &str,
+) {
+    assert_eq!(a.makespan_ns, b.makespan_ns, "{label}: virtual makespan diverged");
+    assert_eq!(a.clocks, b.clocks, "{label}: per-thread clocks diverged");
+    assert_eq!(a.scalars, b.scalars, "{label}: final memory diverged");
+    assert_eq!(a.stats, b.stats, "{label}: comm stats diverged");
+    for (tid, (x, y)) in a.results.iter().zip(&b.results).enumerate() {
+        assert_eq!(x, y, "{label}: thread {tid} worker result diverged");
+    }
+    assert_eq!(
+        a.total_conductor().total_ops(),
+        b.total_conductor().total_ops(),
+        "{label}: operation streams differ in length"
+    );
+}
+
+fn run_mode(preset: &Preset, alg: Algorithm, threads: usize, mode: Mode) -> SimReport<ThreadResult> {
     let gen = UtsGen::new(preset.spec);
-    let cfg = RunConfig {
-        sim_lookahead: lookahead,
-        ..RunConfig::new(alg, 4)
-    };
-    let cluster: SimCluster<<UtsGen as TaskGen>::Task> =
-        SimCluster::new(MachineModel::kittyhawk(), threads, vars::space_config())
-            .with_lookahead(lookahead);
+    let cfg = RunConfig::new(alg, 4);
+    let cluster: SimCluster<<UtsGen as TaskGen>::Task> = mode.cluster(SimCluster::new(
+        MachineModel::kittyhawk(),
+        threads,
+        vars::space_config(),
+    ));
     cluster.run(move |c| worker(c, &gen, &cfg))
 }
 
 fn assert_equivalent(preset: &Preset, alg: Algorithm, threads: usize) {
-    let fast = run_mode(preset, alg, threads, true);
-    let slow = run_mode(preset, alg, threads, false);
+    let reference = run_mode(preset, alg, threads, Mode::Reference);
+    let fiber = run_mode(preset, alg, threads, Mode::Fiber);
+    let parallel = run_mode(preset, alg, threads, Mode::Parallel(3));
     let label = format!("{} x {} threads x {}", alg.label(), threads, preset.name);
+    assert_sim_identical(&fiber, &reference, &format!("{label} [fiber vs reference]"));
+    assert_sim_identical(&parallel, &fiber, &format!("{label} [parallel vs fiber]"));
 
+    // Sanity on the knobs themselves: the reference mode never uses a fast
+    // path, the fiber mode must actually exercise its lookahead.
     assert_eq!(
-        fast.makespan_ns, slow.makespan_ns,
-        "{label}: virtual makespan diverged"
+        reference.total_conductor().fast_ops,
+        0,
+        "{label}: reference mode still fast-pathed"
     );
-    assert_eq!(fast.clocks, slow.clocks, "{label}: per-thread clocks diverged");
-    assert_eq!(fast.scalars, slow.scalars, "{label}: final memory diverged");
-    assert_eq!(fast.stats, slow.stats, "{label}: comm stats diverged");
-    for (tid, (f, s)) in fast.results.iter().zip(&slow.results).enumerate() {
-        assert_eq!(f, s, "{label}: thread {tid} worker result diverged");
-    }
-
-    // Sanity on the knob itself: slow mode must never use the fast path, fast
-    // mode must actually exercise it, and both must conduct the same stream.
-    let (fc, sc) = (fast.total_conductor(), slow.total_conductor());
-    assert_eq!(sc.fast_ops, 0, "{label}: lookahead off still fast-pathed");
-    assert!(fc.fast_ops > 0, "{label}: lookahead on never fast-pathed");
-    assert_eq!(
-        fc.total_ops(),
-        sc.total_ops(),
-        "{label}: operation streams differ in length"
+    assert!(
+        fiber.total_conductor().fast_ops > 0,
+        "{label}: fiber lookahead never engaged"
     );
 }
 
@@ -70,36 +122,40 @@ fn matrix_over(preset: &Preset, threads: usize) {
 
 /// DAG workloads route every dependency decrement through `Comm::add`, so
 /// "which predecessor's add crossed the in-degree" must conduct identically
-/// on both paths — bit-identical reports *including* the count-up cells in
-/// the final memory image.
-fn assert_dag_equivalent<G: worksteal::DagGen>(gen: &DagWorkload<G>, alg: Algorithm, threads: usize) {
-    let run = |lookahead: bool| -> SimReport<ThreadResult> {
-        let cfg = RunConfig {
-            sim_lookahead: lookahead,
-            ..RunConfig::new(alg, 2)
-        };
-        let cluster: SimCluster<u64> = SimCluster::new(
+/// in all three modes — bit-identical reports *including* the count-up cells
+/// in the final memory image.
+fn assert_dag_equivalent<G: worksteal::DagGen>(
+    gen: &DagWorkload<G>,
+    name: &str,
+    alg: Algorithm,
+    threads: usize,
+) {
+    let run = |mode: Mode| -> SimReport<ThreadResult> {
+        let cfg = RunConfig::new(alg, 2);
+        let cluster: SimCluster<u64> = mode.cluster(SimCluster::new(
             MachineModel::kittyhawk(),
             threads,
             vars::space_config_for(gen, threads),
-        )
-        .with_lookahead(lookahead);
+        ));
         cluster.run(|c| worker(c, gen, &cfg))
     };
-    let fast = run(true);
-    let slow = run(false);
-    let label = format!("DAG x {} x {threads} threads", alg.label());
-    assert_eq!(fast.makespan_ns, slow.makespan_ns, "{label}: makespan diverged");
-    assert_eq!(fast.clocks, slow.clocks, "{label}: clocks diverged");
-    assert_eq!(fast.scalars, slow.scalars, "{label}: memory (count-up cells) diverged");
-    assert_eq!(fast.stats, slow.stats, "{label}: comm stats diverged");
-    assert_eq!(fast.results, slow.results, "{label}: worker results diverged");
-    let total: u64 = fast.results.iter().map(|r| r.nodes).sum();
+    let reference = run(Mode::Reference);
+    let fiber = run(Mode::Fiber);
+    let parallel = run(Mode::Parallel(3));
+    let label = format!("{name} x {} x {threads} threads", alg.label());
+    assert_sim_identical(&fiber, &reference, &format!("{label} [fiber vs reference]"));
+    assert_sim_identical(&parallel, &fiber, &format!("{label} [parallel vs fiber]"));
+    let total: u64 = fiber.results.iter().map(|r| r.nodes).sum();
     assert_eq!(total, gen.n_tasks(), "{label}: tasks lost or duplicated");
 }
 
 #[test]
 fn all_algorithms_dag_workloads_16_threads() {
+    let fj = DagWorkload::new(ForkJoin {
+        levels: 4,
+        width: 6,
+        seed: 3,
+    });
     let wf = DagWorkload::new(Wavefront {
         rows: 10,
         cols: 8,
@@ -107,8 +163,9 @@ fn all_algorithms_dag_workloads_16_threads() {
     });
     let rl = DagWorkload::new(RandomLayered::new(6, 10, 250, 7));
     for alg in Algorithm::all() {
-        assert_dag_equivalent(&wf, alg, 16);
-        assert_dag_equivalent(&rl, alg, 16);
+        assert_dag_equivalent(&fj, "fork-join", alg, 16);
+        assert_dag_equivalent(&wf, "wavefront", alg, 16);
+        assert_dag_equivalent(&rl, "random-layered", alg, 16);
     }
 }
 
@@ -130,4 +187,160 @@ fn all_algorithms_small_16_threads() {
 #[test]
 fn all_algorithms_small_64_threads() {
     matrix_over(&presets::t_s(), 64);
+}
+
+// ---------------------------------------------------------------- RunReport
+// Service / crash / membership legs go through the engine entry points, so
+// equality is asserted on the assembled `RunReport`.
+
+fn assert_report_identical(a: &RunReport, b: &RunReport, label: &str) {
+    assert_eq!(a.makespan_ns, b.makespan_ns, "{label}: makespan diverged");
+    assert_eq!(a.total_nodes, b.total_nodes, "{label}: node totals diverged");
+    assert_eq!(a.recovered_nodes, b.recovered_nodes, "{label}: recovery diverged");
+    assert_eq!(a.duplicate_nodes, b.duplicate_nodes, "{label}: duplicates diverged");
+    assert_eq!(a.max_multiplicity, b.max_multiplicity, "{label}: multiplicity diverged");
+    assert_eq!(a.deaths, b.deaths, "{label}: deaths diverged");
+    assert_eq!(a.evictions, b.evictions, "{label}: evictions diverged");
+    assert_eq!(a.rejoins, b.rejoins, "{label}: rejoins diverged");
+    assert_eq!(a.steal_attempts, b.steal_attempts, "{label}: steal attempts diverged");
+    assert_eq!(a.successful_steals, b.successful_steals, "{label}: steals diverged");
+    assert_eq!(a.service, b.service, "{label}: service report diverged");
+    assert_eq!(a.per_thread, b.per_thread, "{label}: per-thread results diverged");
+}
+
+fn assert_three_way<F: Fn(Mode) -> RunReport>(run: F, label: &str) {
+    let reference = run(Mode::Reference);
+    let fiber = run(Mode::Fiber);
+    let parallel = run(Mode::Parallel(3));
+    assert_report_identical(&fiber, &reference, &format!("{label} [fiber vs reference]"));
+    assert_report_identical(&parallel, &fiber, &format!("{label} [parallel vs fiber]"));
+}
+
+/// Service mode: open-loop arrivals, epoch quiescence, per-request
+/// latencies, tail histograms — identical across all three conductors.
+#[test]
+fn service_mode_identical_across_three_conductors() {
+    let gen = UtsGen::new(TreeSpec::binomial(23, 4, 2, 0.4));
+    let arrivals = ArrivalSpec::poisson(41, 8, 25_000.0);
+    for alg in [Algorithm::DistMem, Algorithm::MpiWs] {
+        assert_three_way(
+            |mode| {
+                let cfg = mode.config(RunConfig::new(alg, 2));
+                run_service_sim(MachineModel::smp(), 4, &gen, &cfg, &arrivals)
+            },
+            &format!("service x {}", alg.label()),
+        );
+    }
+}
+
+/// Crash faults: lost/duplicated grants and a guaranteed rank death replay
+/// identically — same deaths, same recovery, same multiplicity — in all
+/// three modes.
+#[test]
+fn crash_faults_identical_across_three_conductors() {
+    let p = presets::t_tiny();
+    let gen = UtsGen::new(p.spec);
+    let plan = FaultPlan {
+        loss_per_mille: 40,
+        dup_per_mille: 40,
+        kill_per_mille: 1000,
+        kill_min_ns: 40_000,
+        kill_span_ns: 200_000,
+        ..FaultPlan::crashy(0xC0_FFEE)
+    };
+    for alg in [Algorithm::Term, Algorithm::DistMem] {
+        assert_three_way(
+            |mode| {
+                let mut cfg = mode.config(RunConfig::new(alg, 4));
+                cfg.faults = plan;
+                cfg.steal_timeout_ns = Some(30_000);
+                run_sim(MachineModel::kittyhawk(), 8, &gen, &cfg)
+            },
+            &format!("crash x {}", alg.label()),
+        );
+    }
+}
+
+/// Membership faults: healing partitions, gray stalls, kills with restart —
+/// the fenced-membership protocol replays identically in all three modes.
+#[test]
+fn membership_faults_identical_across_three_conductors() {
+    let p = presets::t_tiny();
+    let gen = UtsGen::new(p.spec);
+    let mut plan = FaultPlan {
+        loss_per_mille: 20,
+        dup_per_mille: 20,
+        kill_per_mille: 1000,
+        restart_after_ns: 250_000,
+        ..FaultPlan::partitioned(0xBAD_CAFE)
+    };
+    plan.partition_per_mille = 1000;
+    plan.partition_min_ns = 40_000;
+    plan.gray_per_mille = 1000;
+    for alg in [Algorithm::DistMem, Algorithm::MpiWs] {
+        assert_three_way(
+            |mode| {
+                let mut cfg = mode.config(RunConfig::new(alg, 4));
+                cfg.faults = plan;
+                cfg.steal_timeout_ns = Some(30_000);
+                run_sim(MachineModel::kittyhawk(), 8, &gen, &cfg)
+            },
+            &format!("membership x {}", alg.label()),
+        );
+    }
+}
+
+/// Conflict storm: 16 threads hammer put-then-get chains through a shared
+/// set of cells, so almost every read races a virtually-earlier write from
+/// another thread. The parallel conductor's speculative reads must fail
+/// validation (`spec_conflicts`) and fall back to the committer's serial
+/// replay — and the result must *still* be bit-identical to the serial
+/// conductors.
+#[test]
+fn conflict_storm_forces_serial_replay_and_stays_bit_identical() {
+    let storm = |c: &mut pgas::sim::SimComm<u64>| {
+        let me = c.my_id();
+        let n = c.n_threads();
+        let mut acc = 0i64;
+        for i in 0..200i64 {
+            // Write a cell another thread is about to read, then read a cell
+            // another thread just wrote — maximal cross-thread dependence.
+            c.put((me + 1) % n, 0, i + me as i64);
+            acc = acc.wrapping_add(c.get((me + n - 1) % n, 0));
+            if i % 16 == me as i64 % 16 {
+                c.work(3); // skew the clocks so no interleaving is stable
+            }
+        }
+        acc
+    };
+    let run = |mode: Mode| -> SimReport<i64> {
+        mode.cluster(SimCluster::<u64>::new(
+            MachineModel::kittyhawk(),
+            16,
+            pgas::SpaceConfig::default(),
+        ))
+        .run(storm)
+    };
+    let reference = run(Mode::Reference);
+    let fiber = run(Mode::Fiber);
+    let parallel = run(Mode::Parallel(4));
+    for (a, b, label) in [
+        (&fiber, &reference, "storm [fiber vs reference]"),
+        (&parallel, &fiber, "storm [parallel vs fiber]"),
+    ] {
+        assert_eq!(a.makespan_ns, b.makespan_ns, "{label}: makespan diverged");
+        assert_eq!(a.clocks, b.clocks, "{label}: clocks diverged");
+        assert_eq!(a.scalars, b.scalars, "{label}: memory diverged");
+        assert_eq!(a.stats, b.stats, "{label}: comm stats diverged");
+        assert_eq!(a.results, b.results, "{label}: results diverged");
+    }
+    let pc = parallel.total_conductor();
+    assert!(
+        pc.spec_conflicts > 0,
+        "storm never forced the serial-replay fallback: {pc:?}"
+    );
+    assert!(
+        pc.handoffs > 0,
+        "storm never parked an operation: {pc:?}"
+    );
 }
